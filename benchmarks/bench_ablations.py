@@ -1,0 +1,184 @@
+"""Ablations of DistMSM's design choices (DESIGN.md §5).
+
+Each ablation toggles one decision while holding the rest of the system
+fixed, quantifying what that choice buys; results land in
+``results/ablations.txt``.
+"""
+
+from conftest import save_result
+
+from repro.analysis.tables import format_table
+from repro.core.config import DistMsmConfig
+from repro.core.distmsm import DistMsm
+from repro.core.multi_msm import proof_msm_schedule, render_gantt
+from repro.curves.params import curve_by_name
+from repro.fields.limbs import OpCounter, to_limbs
+from repro.fields.montgomery import MontgomeryContext
+from repro.gpu.cluster import MultiGpuSystem
+from repro.kernels.dag import build_pacc_dag, build_padd_dag, peak_live
+from repro.kernels.scheduler import find_optimal_schedule
+
+BLS381 = curve_by_name("BLS12-381")
+N = 1 << 26
+
+
+def test_window_policy_ablation(benchmark):
+    """Model-optimal window vs fixed choices, at 16 GPUs."""
+
+    def run():
+        system = MultiGpuSystem(16)
+        rows = []
+        auto = DistMsm(system).estimate(BLS381, N)
+        rows.append(["auto-tuned", auto.window_size, auto.time_ms])
+        for s in (8, 11, 14):
+            t = DistMsm(system, DistMsmConfig(window_size=s)).estimate(BLS381, N)
+            rows.append([f"fixed s={s}", s, t.time_ms])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["policy", "s", "time (ms)"], rows,
+        title="Ablation: window-size policy (BLS12-381, 2^26, 16 GPUs)",
+    )
+    auto_time = rows[0][2]
+    assert all(auto_time <= r[2] * 1.001 for r in rows[1:])
+    save_result("ablation_window_policy", text)
+
+
+def test_scatter_ablation(benchmark):
+    """Hierarchical vs naive scatter inside the full engine, multi-GPU."""
+
+    def run():
+        rows = []
+        for gpus in (1, 16):
+            system = MultiGpuSystem(gpus)
+            for scatter in ("hierarchical", "naive"):
+                cfg = DistMsmConfig(scatter=scatter)
+                t = DistMsm(system, cfg).estimate(BLS381, N)
+                rows.append([gpus, scatter, t.window_size, t.times.scatter, t.time_ms])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["GPUs", "scatter", "s", "scatter ms", "total ms"], rows,
+        title="Ablation: scatter strategy (BLS12-381, 2^26)",
+    )
+    save_result("ablation_scatter", text)
+
+
+def test_multi_gpu_strategy_ablation(benchmark):
+    """bucket-split vs whole-windows vs N-dim at 8/32 GPUs."""
+
+    def run():
+        rows = []
+        for gpus in (8, 32):
+            system = MultiGpuSystem(gpus)
+            for strategy in ("bucket-split", "windows", "ndim"):
+                cfg = DistMsmConfig(multi_gpu=strategy)
+                t = DistMsm(system, cfg).estimate(BLS381, N).time_ms
+                rows.append([gpus, strategy, t])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["GPUs", "strategy", "time (ms)"], rows,
+        title="Ablation: multi-GPU work distribution (BLS12-381, 2^26)",
+    )
+    # bucket-split (DistMSM's choice) must win at 32 GPUs
+    at32 = {r[1]: r[2] for r in rows if r[0] == 32}
+    assert at32["bucket-split"] <= min(at32.values()) * 1.001
+    save_result("ablation_multi_gpu_strategy", text)
+
+
+def test_bucket_reduce_placement_ablation(benchmark):
+    """CPU offload vs on-GPU scan vs on-GPU naive SIMD."""
+
+    def run():
+        system = MultiGpuSystem(16)
+        rows = []
+        for label, kwargs in (
+            ("CPU offload", {"bucket_reduce_on_cpu": True}),
+            ("GPU scan", {"bucket_reduce_on_cpu": False, "gpu_reduce": "scan"}),
+            ("GPU naive SIMD", {"bucket_reduce_on_cpu": False, "gpu_reduce": "simd"}),
+        ):
+            t = DistMsm(system, DistMsmConfig(**kwargs)).estimate(BLS381, N)
+            rows.append([label, t.times.bucket_reduce, t.time_ms])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["placement", "reduce ms", "total ms"], rows,
+        title="Ablation: bucket-reduce placement (BLS12-381, 2^26, 16 GPUs)",
+    )
+    save_result("ablation_bucket_reduce", text)
+
+
+def test_montgomery_method_ablation(benchmark):
+    """SOS vs CIOS vs FIOS word-operation profiles (Koc et al. analysis)."""
+
+    def run():
+        ctx = MontgomeryContext(BLS381.p)
+        a = to_limbs(ctx.to_mont(BLS381.p // 3), ctx.num_limbs)
+        b = to_limbs(ctx.to_mont(BLS381.p // 7), ctx.num_limbs)
+        rows = []
+        for method in ("sos", "cios", "fios"):
+            counter = OpCounter()
+            getattr(ctx, f"mont_mul_{method}")(a, b, counter)
+            rows.append([method.upper(), counter.mul, counter.add, counter.total])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["method", "word muls", "word adds", "total ops"], rows,
+        title="Ablation: Montgomery multiplication method (BLS12-381 limbs)",
+    )
+    # all variants share the multiply count; they differ in add handling
+    assert len({r[1] for r in rows}) == 1
+    save_result("ablation_montgomery", text)
+
+
+def test_scheduler_ablation(benchmark):
+    """As-written execution order vs the exhaustive optimum."""
+
+    def run():
+        rows = []
+        for dag in (build_padd_dag(), build_pacc_dag()):
+            written = peak_live(dag)
+            optimal = find_optimal_schedule(dag)
+            rows.append([dag.name, written, optimal.peak, optimal.states_visited])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["op", "as written (live)", "optimal (live)", "DP states"], rows,
+        title="Ablation: instruction scheduling (peak live big integers)",
+    )
+    assert rows[0][1:3] == [11, 9]
+    assert rows[1][1:3] == [9, 7]
+    save_result("ablation_scheduler", text)
+
+
+def test_msm_pipelining_ablation(benchmark):
+    """Cross-MSM pipelining of the CPU bucket-reduce (§3.2.3)."""
+
+    def run():
+        engine = DistMsm(MultiGpuSystem(8))
+        rows = []
+        for log_n in (20, 24):
+            sched = proof_msm_schedule(engine, curve_by_name("BN254"), 1 << log_n)
+            rows.append(
+                [f"2^{log_n}", sched.serial_ms, sched.pipelined_ms, f"{sched.speedup:.2f}x"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    gantt = render_gantt(
+        proof_msm_schedule(
+            DistMsm(MultiGpuSystem(8)), curve_by_name("BN254"), 1 << 24
+        )
+    )
+    text = format_table(
+        ["constraints", "serial ms", "pipelined ms", "speedup"], rows,
+        title="Ablation: cross-MSM pipelining of bucket-reduce (Groth16 MSMs)",
+    ) + "\n\n" + gantt
+    save_result("ablation_pipelining", text)

@@ -1,0 +1,76 @@
+"""Real timings of the arithmetic substrate (pytest-benchmark).
+
+These measure this library's actual Python throughput — useful for spotting
+regressions in the hot paths every experiment leans on.
+"""
+
+import pytest
+
+from repro.curves.params import curve_by_name
+from repro.curves.point import XyzzPoint, pdbl, xyzz_acc, xyzz_add
+from repro.curves.sampling import batch_to_affine, sample_points
+from repro.fields.limbs import to_limbs
+from repro.fields.montgomery import MontgomeryContext
+
+BN254 = curve_by_name("BN254")
+MNT = curve_by_name("MNT4753")
+
+
+@pytest.fixture(scope="module")
+def bn_ctx():
+    return MontgomeryContext(BN254.p)
+
+
+@pytest.fixture(scope="module")
+def bn_operands(bn_ctx):
+    a = bn_ctx.to_mont(BN254.p // 3)
+    b = bn_ctx.to_mont(BN254.p // 7)
+    n = bn_ctx.num_limbs
+    return to_limbs(a, n), to_limbs(b, n)
+
+
+@pytest.mark.parametrize("method", ["sos", "cios", "fios"])
+def test_montgomery_word_level(benchmark, bn_ctx, bn_operands, method):
+    """Word-level Montgomery multiplication, all three variants."""
+    func = getattr(bn_ctx, f"mont_mul_{method}")
+    a, b = bn_operands
+    benchmark(func, a, b)
+
+
+def test_montgomery_int_reference(benchmark, bn_ctx):
+    am = bn_ctx.to_mont(123456789)
+    bm = bn_ctx.to_mont(987654321)
+    benchmark(bn_ctx.mont_mul_int, am, bm)
+
+
+@pytest.fixture(scope="module")
+def bn_points():
+    return sample_points(BN254, 8, seed=1)
+
+
+def test_pacc_bn254(benchmark, bn_points):
+    acc = XyzzPoint.from_affine(bn_points[0])
+    benchmark(xyzz_acc, acc, bn_points[1], BN254)
+
+
+def test_padd_bn254(benchmark, bn_points):
+    p1 = XyzzPoint.from_affine(bn_points[0])
+    p2 = pdbl(XyzzPoint.from_affine(bn_points[1]), BN254)
+    benchmark(xyzz_add, p1, p2, BN254)
+
+
+def test_pdbl_bn254(benchmark, bn_points):
+    pt = XyzzPoint.from_affine(bn_points[0])
+    benchmark(pdbl, pt, BN254)
+
+
+def test_pacc_mnt4753(benchmark):
+    """753-bit arithmetic: the paper's register-pressure stress point."""
+    points = sample_points(MNT, 2, seed=2)
+    acc = XyzzPoint.from_affine(points[0])
+    benchmark(xyzz_acc, acc, points[1], MNT)
+
+
+def test_batch_to_affine(benchmark, bn_points):
+    xyzz = [pdbl(XyzzPoint.from_affine(p), BN254) for p in bn_points] * 8
+    benchmark(batch_to_affine, xyzz, BN254)

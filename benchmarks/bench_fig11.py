@@ -1,0 +1,33 @@
+"""Regenerate paper Fig. 11: naive vs hierarchical bucket scatter."""
+
+from conftest import save_result
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.experiments import figure11
+
+
+def test_figure11(benchmark):
+    result = benchmark.pedantic(figure11, kwargs={"log_n": 26}, rounds=1, iterations=1)
+    feasible = [r for r in result.rows if r.hierarchical_ms is not None]
+    plot = ascii_plot(
+        {
+            "naive": [r.naive_ms for r in feasible],
+            "hierarchical": [r.hierarchical_ms for r in feasible],
+        },
+        title="bucket-scatter time (ms, log scale) vs window size",
+        log_y=True,
+        x_labels=[r.window_size for r in feasible],
+    )
+    save_result("figure11", result.render() + "\n\n" + plot)
+
+    by_s = {r.window_size: r for r in result.rows}
+    # paper anchors: 6.71x at s=11 and 18.3x at s=9
+    assert by_s[11].speedup == pytest.approx(6.71, rel=0.35)
+    assert by_s[9].speedup == pytest.approx(18.3, rel=0.35)
+    # execution failures above s = 14
+    assert by_s[15].hierarchical_ms is None
+    assert by_s[14].hierarchical_ms is not None
+    # naive preferred at single-GPU window sizes
+    assert by_s[14].speedup < 1.5

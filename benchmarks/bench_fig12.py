@@ -1,0 +1,38 @@
+"""Regenerate paper Fig. 12: cumulative PADD-kernel optimisation speedups."""
+
+from conftest import save_result
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.experiments import figure12
+
+
+def test_figure12(benchmark):
+    result = benchmark.pedantic(figure12, rounds=1, iterations=1)
+    stages = [r.stage for r in result.rows if r.curve == "BN254"]
+    series = {}
+    for curve in ("BN254", "BLS12-377", "MNT4753"):
+        series[curve] = [
+            r.cumulative_speedup for r in result.rows if r.curve == curve
+        ]
+    plot = ascii_plot(
+        series,
+        title="cumulative kernel speedup per optimisation stage",
+        x_labels=[s[:6] for s in stages],
+    )
+    save_result("figure12", result.render() + "\n\n" + plot)
+
+    totals = result.totals()
+    # paper: 1.94x for MNT4753, 1.61x average for the other three
+    assert totals["MNT4753"] == pytest.approx(1.94, rel=0.10)
+    small = [totals[c] for c in ("BN254", "BLS12-377", "BLS12-381")]
+    assert sum(small) / 3 == pytest.approx(1.61, rel=0.12)
+
+    # per-stage shape: naive TC hurts, compaction recovers (except MNT)
+    for curve in ("BLS12-377", "BLS12-381"):
+        stages = {r.stage: r.cumulative_speedup for r in result.rows if r.curve == curve}
+        assert stages["MontMul with TC"] < stages["Explicit Spill"]
+        assert stages["On-the-fly Compact"] > stages["MontMul with TC"]
+    mnt = {r.stage: r.cumulative_speedup for r in result.rows if r.curve == "MNT4753"}
+    assert mnt["On-the-fly Compact"] < mnt["MontMul with TC"]

@@ -1,0 +1,36 @@
+"""Regenerate paper Fig. 3: per-thread workload vs window size."""
+
+from conftest import save_result
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.experiments import figure3
+from repro.analysis.tables import format_table
+
+
+def test_figure3(benchmark):
+    result = benchmark.pedantic(figure3, rounds=1, iterations=1)
+
+    # render the full series grid, one row per window size
+    sizes = result.curves[0].window_sizes
+    headers = ["s"] + [f"{c.num_gpus} GPU(s)" for c in result.curves]
+    rows = []
+    for idx, s in enumerate(sizes):
+        rows.append([s] + [f"{c.normalised_costs[idx]:.2f}" for c in result.curves])
+    plot = ascii_plot(
+        {
+            f"{c.num_gpus}gpu": list(c.normalised_costs)
+            for c in result.curves
+        },
+        title="normalised per-thread workload vs window size (log scale)",
+        log_y=True,
+        x_labels=[str(s) for s in sizes[::3]],
+    )
+    text = (
+        format_table(headers, rows, title="Figure 3: normalised per-thread workload")
+        + "\n\n" + result.render() + "\n\n" + plot
+    )
+    save_result("figure3", text)
+
+    assert result.curves[0].optimal_s == 20  # paper's single-GPU optimum
+    optima = [c.optimal_s for c in result.curves]
+    assert optima == sorted(optima, reverse=True)  # shrinks with GPU count

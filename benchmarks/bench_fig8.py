@@ -1,0 +1,32 @@
+"""Regenerate paper Fig. 8: multi-GPU speedup over single GPU per method."""
+
+from conftest import save_result
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.experiments import figure8
+
+
+def test_figure8(benchmark):
+    result = benchmark.pedantic(
+        figure8,
+        kwargs={"gpu_counts": (1, 2, 4, 8, 16, 32), "log_sizes": (22, 24, 26, 28)},
+        rounds=1,
+        iterations=1,
+    )
+    plot = ascii_plot(
+        {s.method: list(s.speedups) for s in result.series},
+        title="speedup over one GPU (log scale)",
+        log_y=True,
+        x_labels=list(result.gpu_counts),
+    )
+    save_result("figure8", result.render() + "\n\n" + plot)
+
+    by_name = {s.method: s for s in result.series}
+    # paper: most methods scale well to 4 GPUs (~3.54x average)
+    four_gpu = [s.speedups[2] for s in result.series]
+    assert sum(four_gpu) / len(four_gpu) > 2.5
+    # paper: Yrrid scales the least effectively
+    final = {n: s.speedups[-1] for n, s in by_name.items()}
+    assert final["Yrrid"] == min(final.values())
+    # paper: DistMSM maintains near-linear scalability
+    assert final["DistMSM"] == max(final.values())

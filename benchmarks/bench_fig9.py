@@ -1,0 +1,24 @@
+"""Regenerate paper Fig. 9: DistMSM vs Bellperson across GPU models."""
+
+import pytest
+
+from conftest import save_result
+
+from repro.analysis.experiments import figure9
+
+
+def test_figure9(benchmark):
+    result = benchmark.pedantic(figure9, kwargs={"log_n": 26}, rounds=1, iterations=1)
+    save_result("figure9", result.render())
+
+    a100, rtx, amd = result.rows
+    # paper: ~16.5x over Bellperson on the NVIDIA GPUs, lower (~9.4x) on AMD
+    assert a100.speedup > 5
+    assert amd.speedup < a100.speedup
+    # paper: both systems run faster on the RTX4090 than the A100
+    assert rtx.distmsm_ms < a100.distmsm_ms
+    assert rtx.bellperson_ms < a100.bellperson_ms
+    # paper: DistMSM gains 1.89x from the RTX's int throughput; our model
+    # gives 1.80x (Bellperson's 1.61x vs our 2.14x is a recorded deviation
+    # — see EXPERIMENTS.md)
+    assert a100.distmsm_ms / rtx.distmsm_ms == pytest.approx(1.89, rel=0.15)

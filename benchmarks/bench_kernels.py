@@ -1,0 +1,61 @@
+"""Real timings of the kernel-level machinery (pytest-benchmark).
+
+The exhaustive scheduler and the tensor-core byte-matrix path are real
+computations; their costs matter because they run at import/experiment time.
+"""
+
+import pytest
+
+from repro.curves.params import curve_by_name
+from repro.fields.montgomery import MontgomeryContext
+from repro.kernels.dag import build_pacc_dag, build_padd_dag, peak_live
+from repro.kernels.montmul_tc import TensorCoreMontgomery, constant_operand_matrix, tensor_core_multiply
+from repro.kernels.scheduler import find_optimal_schedule
+from repro.kernels.spill import plan_spills
+
+BN254 = curve_by_name("BN254")
+
+
+def test_exhaustive_schedule_padd(benchmark):
+    dag = build_padd_dag()
+    result = benchmark(find_optimal_schedule, dag)
+    assert result.peak == 9
+
+
+def test_exhaustive_schedule_pacc(benchmark):
+    dag = build_pacc_dag()
+    result = benchmark(find_optimal_schedule, dag)
+    assert result.peak == 7
+
+
+def test_liveness_analysis(benchmark):
+    dag = build_padd_dag()
+    assert benchmark(peak_live, dag) == 11
+
+
+def test_spill_planning(benchmark):
+    dag = build_pacc_dag()
+    order = list(find_optimal_schedule(dag).order)
+    plan = benchmark(plan_spills, dag, order, 5)
+    assert plan.feasible
+
+
+@pytest.fixture(scope="module")
+def tc():
+    return TensorCoreMontgomery(MontgomeryContext(BN254.p))
+
+
+def test_tc_matrix_build(benchmark):
+    benchmark(constant_operand_matrix, BN254.p, 32)
+
+
+def test_tc_multiply(benchmark, tc):
+    m = BN254.p // 3
+    benchmark(tensor_core_multiply, m, tc.mat_n)
+
+
+def test_tc_full_montgomery(benchmark, tc):
+    am = tc.ctx.to_mont(123456789)
+    bm = tc.ctx.to_mont(987654321)
+    result = benchmark(tc.multiply, am, bm)
+    assert result.product == tc.ctx.mont_mul_int(am, bm)

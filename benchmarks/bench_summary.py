@@ -1,0 +1,16 @@
+"""The reproduction scorecard: every headline, computed in one pass."""
+
+from conftest import save_result
+
+from repro.analysis.summary import render_summary, run_summary
+
+
+def test_summary_scorecard(benchmark):
+    rows = benchmark.pedantic(run_summary, rounds=1, iterations=1)
+    save_result("summary", render_summary(rows))
+    by_quantity = {r.quantity: r for r in rows}
+    assert by_quantity["single-GPU optimal window"].measured == "s = 20"
+    assert by_quantity["worst-scaling method at 32 GPUs"].measured == "Yrrid"
+    assert by_quantity[
+        "big integers transferred (PACC in 5 registers)"
+    ].measured.startswith("4")

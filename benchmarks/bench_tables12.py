@@ -1,0 +1,19 @@
+"""Regenerate paper Tables 1 and 2 (curve widths, baseline matrix)."""
+
+from conftest import save_result
+
+from repro.analysis.experiments import table1, table2
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    save_result("table1", result.render())
+    assert [r[0] for r in result.rows] == [
+        "BN254", "BLS12-377", "BLS12-381", "MNT4753",
+    ]
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(table2, rounds=1, iterations=1)
+    save_result("table2", result.render())
+    assert len(result.rows) == 6

@@ -1,0 +1,83 @@
+"""Real timings of the zkSNARK stack: NTT, pairing, Groth16 phases."""
+
+import random
+
+import pytest
+
+from repro.curves.params import curve_by_name
+from repro.zksnark.groth16 import Groth16
+from repro.zksnark.ntt import NttDomain
+from repro.zksnark.pairing import (
+    G1_GENERATOR,
+    G2_GENERATOR,
+    cast_g1_to_fq12,
+    final_exponentiate,
+    miller_loop,
+    pairing,
+    twist,
+)
+from repro.zksnark.workloads import hash_chain_circuit
+
+BN_R = curve_by_name("BN254").r
+
+
+@pytest.fixture(scope="module")
+def ntt_domain():
+    return NttDomain(BN_R, 1024)
+
+
+@pytest.fixture(scope="module")
+def ntt_input():
+    rng = random.Random(5)
+    return [rng.randrange(BN_R) for _ in range(1024)]
+
+
+def test_ntt_1024(benchmark, ntt_domain, ntt_input):
+    benchmark(ntt_domain.ntt, ntt_input)
+
+
+def test_intt_1024(benchmark, ntt_domain, ntt_input):
+    evals = ntt_domain.ntt(ntt_input)
+    benchmark(ntt_domain.intt, evals)
+
+
+def test_miller_loop(benchmark):
+    q = twist(G2_GENERATOR)
+    p = cast_g1_to_fq12(G1_GENERATOR)
+    benchmark.pedantic(miller_loop, args=(q, p), rounds=3, iterations=1)
+
+
+def test_final_exponentiation(benchmark):
+    f = miller_loop(twist(G2_GENERATOR), cast_g1_to_fq12(G1_GENERATOR))
+    benchmark.pedantic(final_exponentiate, args=(f,), rounds=3, iterations=1)
+
+
+def test_full_pairing(benchmark):
+    benchmark.pedantic(
+        pairing, args=(G2_GENERATOR, G1_GENERATOR), rounds=3, iterations=1
+    )
+
+
+@pytest.fixture(scope="module")
+def groth_system():
+    r1cs, assignment = hash_chain_circuit(8, seed=3)
+    groth = Groth16(r1cs)
+    pk, vk = groth.setup(random.Random(7))
+    return groth, pk, vk, r1cs, assignment
+
+
+def test_groth16_prove(benchmark, groth_system):
+    groth, pk, _, _, assignment = groth_system
+    benchmark.pedantic(
+        groth.prove, args=(pk, assignment, random.Random(8)), rounds=3, iterations=1
+    )
+
+
+def test_groth16_verify(benchmark, groth_system):
+    groth, pk, vk, r1cs, assignment = groth_system
+    proof = groth.prove(pk, assignment, random.Random(9))
+    public = r1cs.public_inputs(assignment)
+    valid = benchmark.pedantic(
+        groth.verify, args=(vk, proof, public), rounds=3, iterations=1
+    )
+    assert valid

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Baseline comparison: reproduce one Table 3 row interactively.
+
+Runs DistMSM and every compatible Table 2 baseline on the same MSM instance
+across GPU counts, showing who wins where and why — the paper's central
+evaluation, at whatever size you pick.
+
+Run:  python examples/baseline_comparison.py [curve] [log_n]
+"""
+
+import sys
+
+from repro import DistMsm, MultiGpuSystem, curve_by_name
+from repro.baselines.registry import best_gpu, compatible_baselines
+
+
+def main() -> None:
+    curve_name = sys.argv[1] if len(sys.argv) > 1 else "BLS12-381"
+    log_n = int(sys.argv[2]) if len(sys.argv) > 2 else 26
+    curve = curve_by_name(curve_name)
+    n = 1 << log_n
+
+    baselines = compatible_baselines(curve)
+    print(f"MSM on {curve.name}, N=2^{log_n}")
+    print(f"compatible baselines: "
+          f"{', '.join(f'{b.name}(#{b.ident})' for b in baselines)}\n")
+
+    header = f"{'GPUs':>5} " + "".join(
+        f"{b.name:>12}" for b in baselines
+    ) + f"{'DistMSM':>12}  {'best/DistMSM':>12}"
+    print(header)
+    for gpus in (1, 4, 8, 16, 32):
+        system = MultiGpuSystem(gpus)
+        cells = []
+        for baseline in baselines:
+            cells.append(baseline.estimate(curve, n, system).time_ms)
+        dist = DistMsm(system).estimate(curve, n).time_ms
+        bg, winner = best_gpu(curve, n, system)
+        row = f"{gpus:>5} " + "".join(f"{t:>11.1f} " for t in cells)
+        row += f"{dist:>11.1f}  {bg.time_ms / dist:>10.2f}x"
+        row += f"   (BG = {winner.name})"
+        print(row)
+
+    print("\ndesign traits behind the numbers:")
+    for baseline in baselines:
+        cfg = baseline.config
+        traits = [
+            f"window={'fixed ' + str(cfg.window_size) if cfg.window_size else baseline.window_policy}",
+            f"scatter={cfg.scatter}",
+            f"multi-GPU={cfg.multi_gpu}",
+            f"signed={cfg.signed_digits}",
+            f"precompute={cfg.precompute}",
+            f"efficiency={baseline.efficiency_for(curve)}",
+        ]
+        print(f"  {baseline.name:<11s} " + ", ".join(traits))
+
+
+if __name__ == "__main__":
+    main()

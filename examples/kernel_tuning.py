@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Kernel-level walkthrough: the paper's §4 techniques, executed live.
+
+1. Exhaustive register scheduling of the PADD/PACC operation DAGs
+   (11 -> 9 and 9 -> 7 live big integers);
+2. explicit spilling to shared memory (PACC in 5 registers);
+3. Montgomery multiplication on tensor cores — real byte-matrix math,
+   including the on-the-fly compaction of the uint32 fragments.
+
+Run:  python examples/kernel_tuning.py
+"""
+
+from repro.curves.params import curve_by_name
+from repro.fields.montgomery import MontgomeryContext
+from repro.kernels.compaction import (
+    compact_accumulators,
+    compacted_bits,
+    compaction_cost,
+    partials_to_int,
+)
+from repro.kernels.dag import build_pacc_dag, build_padd_dag, peak_live
+from repro.kernels.montmul_tc import TensorCoreMontgomery
+from repro.kernels.padd_kernel import KernelDescriptor, KernelOptimisations
+from repro.kernels.scheduler import find_optimal_schedule
+from repro.kernels.spill import plan_spills
+
+
+def main() -> None:
+    print("=== optimal execution sequencing (paper §4.2.1) ===")
+    for build in (build_padd_dag, build_pacc_dag):
+        dag = build()
+        written = peak_live(dag)
+        best = find_optimal_schedule(dag)
+        print(f"{dag.name}: as written {written} live big integers; "
+              f"exhaustive search -> {best.peak} "
+              f"({best.states_visited} DP states)")
+        print("  order:", " -> ".join(best.order))
+
+    print("\n=== explicit spilling (paper §4.2.2) ===")
+    dag = build_pacc_dag()
+    order = list(find_optimal_schedule(dag).order)
+    plan = plan_spills(dag, order, register_budget=5)
+    print(f"PACC under a 5-register budget: feasible={plan.feasible}, "
+          f"{plan.transfers} big-integer moves, "
+          f"peak {plan.peak_shm_bigints} resident in shared memory")
+    for op, kind, var in plan.moves[:6]:
+        print(f"  at {op:<8s} {kind:<7s} {var}")
+
+    print("\n=== per-curve register budgets ===")
+    for name in ("BN254", "BLS12-377", "MNT4753"):
+        curve = curve_by_name(name)
+        base = KernelDescriptor(curve, KernelOptimisations.none())
+        tuned = KernelDescriptor(curve, KernelOptimisations.all())
+        print(f"{name:<10s} PADD as written: {base.registers_per_thread('padd'):3d} "
+              f"regs/thread -> fully optimised PACC: "
+              f"{tuned.registers_per_thread('pacc'):3d}")
+
+    print("\n=== Montgomery multiplication on tensor cores (paper §4.3) ===")
+    curve = curve_by_name("BN254")
+    ctx = MontgomeryContext(curve.p)
+    tc = TensorCoreMontgomery(ctx)
+    a, b = 0xDEAD_BEEF_0123, 0xCAFE_F00D_4567
+    result = tc.multiply(ctx.to_mont(a), ctx.to_mont(b))
+    assert ctx.from_mont(result.product) == a * b % curve.p
+    print(f"(a * b) mod p via TC path matches the reference: True")
+    print(f"  {result.mma_ops} int8 MACs on the MMA unit, "
+          f"{result.cuda_mul_ops} 32x32 multiplies left on CUDA cores")
+    print(f"  raw fragment vector: {len(result.tc_accumulators)} uint32 words, "
+          f"max {int(result.tc_accumulators.max()).bit_length()} significant bits")
+
+    partials = compact_accumulators(result.tc_accumulators)
+    assert partials_to_int(partials) == sum(
+        int(c) << (8 * i) for i, c in enumerate(result.tc_accumulators)
+    )
+    print(f"  compacted in registers: {len(partials)} partials of "
+          f"<= {compacted_bits(tc.num_bytes)} bits each")
+    cost = compaction_cost(tc.num_bytes)
+    print(f"  memory traffic: naive {cost.bytes_naive} B vs compacted "
+          f"{cost.bytes_compacted} B ({cost.bytes_naive // cost.bytes_compacted}x)")
+
+
+if __name__ == "__main__":
+    main()

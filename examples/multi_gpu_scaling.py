@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Multi-GPU scaling study: window sizing, strategies, and speedups.
+
+Reproduces the paper's §3 narrative interactively:
+
+1. the per-thread workload model (Fig. 3) and how the optimal window size
+   shrinks with GPU count;
+2. the engine's own auto-tuned window choices;
+3. scaling of DistMSM vs the naive single-GPU-design port (Fig. 8 / 10
+   flavour), including where each multi-GPU strategy pays off.
+
+Run:  python examples/multi_gpu_scaling.py
+"""
+
+from repro import DistMsm, DistMsmConfig, MultiGpuSystem, curve_by_name
+from repro.analysis.experiments import no_opt_config
+from repro.core.workload import figure3_series
+from repro.kernels.padd_kernel import KernelOptimisations
+
+
+def main() -> None:
+    curve = curve_by_name("BLS12-381")
+    n = 1 << 26
+
+    print("=== per-thread workload model (paper Fig. 3) ===")
+    for series in figure3_series():
+        costs = dict(zip(series.window_sizes, series.normalised_costs))
+        print(f"  {series.num_gpus:2d} GPU(s): optimal s = {series.optimal_s} "
+              f"(normalised cost {costs[series.optimal_s]:.2f})")
+
+    print("\n=== engine auto-tuned windows (model-optimal) ===")
+    for gpus in (1, 4, 8, 16, 32):
+        engine = DistMsm(MultiGpuSystem(gpus))
+        s = engine.window_size_for(curve, n)
+        print(f"  {gpus:2d} GPU(s): s = {s}")
+
+    print(f"\n=== scaling on {curve.name}, N=2^26 ===")
+    print(f"{'GPUs':>5} {'DistMSM ms':>12} {'speedup':>8} "
+          f"{'single-GPU design ms':>22} {'speedup':>8}")
+    base_cfg = no_opt_config(curve.name, n)
+    t_dist_1 = t_noopt_1 = None
+    for gpus in (1, 2, 4, 8, 16, 32):
+        system = MultiGpuSystem(gpus)
+        t_dist = DistMsm(system).estimate(curve, n).time_ms
+        t_noopt = DistMsm(system, base_cfg).estimate(curve, n).time_ms
+        t_dist_1 = t_dist_1 or t_dist
+        t_noopt_1 = t_noopt_1 or t_noopt
+        print(f"{gpus:>5} {t_dist:>12.1f} {t_dist_1 / t_dist:>7.1f}x "
+              f"{t_noopt:>22.1f} {t_noopt_1 / t_noopt:>7.1f}x")
+
+    print("\n=== multi-GPU strategy comparison at 32 GPUs ===")
+    for strategy in ("bucket-split", "windows", "ndim"):
+        cfg = DistMsmConfig(multi_gpu=strategy)
+        t = DistMsm(MultiGpuSystem(32), cfg).estimate(curve, n).time_ms
+        print(f"  {strategy:<13s} {t:8.1f} ms")
+
+    print("\n=== what the kernel optimisations buy at 8 GPUs ===")
+    for label, opts in (
+        ("no kernel opts", KernelOptimisations.none()),
+        ("full kernel opts", KernelOptimisations.all()),
+    ):
+        cfg = DistMsmConfig(kernel_opts=opts)
+        t = DistMsm(MultiGpuSystem(8), cfg).estimate(curve, n).time_ms
+        print(f"  {label:<17s} {t:8.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Command-line interface: regenerate paper experiments from the shell.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro table3               # the full Table 3 grid
+    python -m repro fig11 --log-n 24     # Fig. 11 at a custom size
+    python -m repro msm --curve BN254 --log-n 20 --gpus 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _experiment_runners():
+    from repro.analysis import experiments
+    from repro.zksnark.pipeline import table4
+
+    return {
+        "table1": lambda args: experiments.table1(),
+        "table2": lambda args: experiments.table2(),
+        "table3": lambda args: experiments.table3(),
+        "table4": lambda args: table4(num_gpus=args.gpus or 8),
+        "fig3": lambda args: experiments.figure3(),
+        "fig8": lambda args: experiments.figure8(),
+        "fig9": lambda args: experiments.figure9(log_n=args.log_n or 26),
+        "fig10": lambda args: experiments.figure10(log_n=args.log_n or 26),
+        "fig11": lambda args: experiments.figure11(log_n=args.log_n or 26),
+        "fig12": lambda args: experiments.figure12(),
+    }
+
+
+def _run_msm(args) -> int:
+    from repro import DistMsm, MultiGpuSystem, curve_by_name
+
+    curve = curve_by_name(args.curve)
+    engine = DistMsm(MultiGpuSystem(args.gpus or 1))
+    n = 1 << (args.log_n or 20)
+    result = engine.estimate(curve, n)
+    print(
+        f"{curve.name}, N=2^{args.log_n or 20}, "
+        f"{args.gpus or 1} x A100: {result.time_ms:.2f} ms "
+        f"(window s={result.window_size})"
+    )
+    for phase, ms in result.times.as_dict().items():
+        print(f"  {phase:<14s} {ms:10.4f} ms")
+    return 0
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DistMSM reproduction: regenerate the paper's experiments.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="one of: list, msm, " + ", ".join(_experiment_runners()),
+    )
+    parser.add_argument("--log-n", type=int, default=None, help="log2 of the MSM size")
+    parser.add_argument("--gpus", type=int, default=None, help="simulated GPU count")
+    parser.add_argument("--curve", default="BN254", help="curve name (msm command)")
+    args = parser.parse_args(argv)
+
+    runners = _experiment_runners()
+    if args.experiment == "list":
+        print("experiments:", ", ".join(sorted(runners)))
+        print("utilities:   msm (--curve --log-n --gpus)")
+        return 0
+    if args.experiment == "msm":
+        return _run_msm(args)
+    if args.experiment not in runners:
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+    result = runners[args.experiment](args)
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

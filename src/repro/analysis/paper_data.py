@@ -1,0 +1,80 @@
+"""Published numbers from the paper, used for paper-vs-measured reporting.
+
+Keys follow the paper's presentation: Table 3 is indexed by
+(curve, log2 size) with per-GPU-count pairs of (Best-GPU ms, DistMSM ms) and
+the Best-GPU implementation identifier from Table 2.
+"""
+
+TABLE3_GPU_COUNTS = (1, 8, 16, 32)
+
+#: (curve, log2 n) -> ((BG ms per GPU count), (DistMSM ms per GPU count),
+#:                     (BG implementation id per GPU count))
+TABLE3 = {
+    ("BN254", 22): ((63.58, 22.91, 20.35, 9.51), (29.04, 4.78, 2.88, 2.04), (5, 5, 5, 5)),
+    ("BN254", 24): ((218.6, 37.08, 37.17, 25.72), (115.1, 16.54, 8.96, 5.43), (5, 5, 5, 5)),
+    ("BN254", 26): ((825.1, 113.9, 60.17, 35.51), (414.8, 56.15, 30.36, 17.46), (5, 5, 5, 5)),
+    ("BN254", 28): ((2898, 420.6, 218.2, 107.6), (1578, 202.7, 103.8, 54.43), (5, 5, 5, 5)),
+    ("BLS12-377", 22): ((30.07, 9.53, 7.71, 6.87), (52.24, 7.79, 4.48, 3.01), (6, 6, 6, 2)),
+    ("BLS12-377", 24): ((126.3, 29.84, 21.50, 17.29), (213.6, 30.35, 15.86, 8.75), (6, 6, 6, 2)),
+    ("BLS12-377", 26): ((517.4, 105.7, 74.55, 63.38), (728.8, 97.93, 51.46, 28.14), (6, 6, 6, 2)),
+    ("BLS12-377", 28): ((4165, 392.2, 276.2, 174.1), (2624, 334.9, 169.9, 87.47), (5, 6, 6, 5)),
+    ("BLS12-381", 22): ((132.3, 76.82, 61.04, 33.98), (58.01, 8.52, 4.89, 2.95), (5, 5, 5, 5)),
+    ("BLS12-381", 24): ((448.6, 79.99, 97.87, 75.94), (234.4, 33.3, 17.43, 9.4), (5, 5, 5, 5)),
+    ("BLS12-381", 26): ((1288, 289.5, 129.1, 76.22), (855.2, 113.7, 59.36, 32.17), (5, 2, 5, 5)),
+    ("BLS12-381", 28): ((5038, 907.1, 434.4, 281.7), (3137, 399, 202, 103.4), (5, 2, 5, 2)),
+    ("MNT4753", 22): ((11700, 1750, 970.2, 665.0), (863.8, 116.8, 75.62, 45.6), (4, 4, 4, 4)),
+    ("MNT4753", 24): ((47900, 5713, 2987, 1756), (4061, 531.2, 270.3, 146.9), (4, 4, 4, 4)),
+    ("MNT4753", 26): ((194000, 23800, 11300, 5763), (10800, 1382, 696.2, 353.1), (4, 4, 4, 4)),
+    ("MNT4753", 28): ((786000, 104000, 46000, 23700), (38400, 4944, 2477, 1243), (4, 4, 4, 4)),
+}
+
+#: Table 4: application -> (R1CS constraint count, libsnark seconds,
+#: DistMSM seconds, speedup)
+TABLE4 = {
+    "Zcash-Sprout": (2_585_747, 145.8, 5.8, 25.0),
+    "Otti-SGD": (6_968_254, 291.0, 11.7, 26.7),
+    "Zen_acc-LeNet": (77_689_757, 5036.7, 188.7, 24.9),
+}
+
+#: end-to-end CPU stage shares (§5.1.1)
+STAGE_SHARES_CPU = {"msm": 0.782, "ntt": 0.179, "others": 0.039}
+
+#: single-GPU acceleration factors quoted in §5.1.1
+GPU_SPEEDUP_MSM = 871.0
+GPU_SPEEDUP_NTT = 898.0
+
+#: Fig. 8 anchors: average multi-GPU speedup over one GPU
+FIGURE8 = {
+    4: {"most_methods": 3.54},
+    8: {"best_baseline": 7.18, "distmsm": 7.94},
+    32: {"distmsm_large_n": 31.0},
+}
+
+#: Fig. 9: average DistMSM-over-Bellperson speedups per GPU
+FIGURE9_SPEEDUPS = {"A100": 16.5, "RTX4090": 16.5, "6900XT": 9.4}
+FIGURE9_RTX_OVER_A100 = {"DistMSM": 1.89, "Bellperson": 1.61}
+
+#: Fig. 11 anchors
+FIGURE11 = {
+    "speedup_s11": 6.71,
+    "speedup_s9": 18.3,
+    "fails_above": 14,
+    "naive_share_of_msm": 0.165,
+    "hier_share_of_msm": 0.036,
+}
+
+#: Fig. 12 anchors: total kernel speedups and stage effects
+FIGURE12 = {
+    "total_small_curves": 1.61,
+    "total_mnt4753": 1.94,
+    "pacc_modmul_ratio": 14 / 10,
+    "pacc_occupancy_gain_mnt": 1.273,
+    "pacc_occupancy_gain_small": 1.0627,
+    "tc_naive_slowdown": 0.932,  # -6.8%
+    "tc_compact_gain_small": 1.052,  # +5.2% over the spill stage
+    "tc_compact_slowdown_mnt": 0.918,  # -8.2%
+    "non_pacc_average_gain": 1.178,
+}
+
+#: Table 3 headline: average DistMSM speedup over BG for multi-GPU setups
+AVERAGE_MULTI_GPU_SPEEDUP = 6.39

@@ -1,0 +1,49 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list, rows: list, title: str = "") -> str:
+    """Render rows as an aligned plain-text table.
+
+    Cells are stringified; column widths adapt to content.
+    """
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        if len(row) != len(str_headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(str_headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells):
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(str_headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_series(name: str, xs: list, ys: list, x_label: str = "x") -> str:
+    """Render one figure series as aligned columns."""
+    rows = [[x, y] for x, y in zip(xs, ys)]
+    return format_table([x_label, name], rows)

@@ -1,0 +1,25 @@
+"""Baseline MSM systems (paper Table 2), modelled on the shared simulator.
+
+Each baseline is a :class:`repro.baselines.base.BaselineMsm`: a named
+configuration of the same engine/timing substrate DistMSM runs on, encoding
+the design traits the paper attributes to it (window policy, scatter scheme,
+kernel quality, multi-GPU strategy) plus an implementation-quality factor
+calibrated against Table 3.  ``best_gpu`` reproduces the paper's *BG*
+column: the fastest compatible baseline per (curve, size, GPU count) cell.
+"""
+
+from repro.baselines.base import BaselineMsm
+from repro.baselines.registry import (
+    all_baselines,
+    baseline_by_name,
+    best_gpu,
+    compatible_baselines,
+)
+
+__all__ = [
+    "BaselineMsm",
+    "all_baselines",
+    "baseline_by_name",
+    "best_gpu",
+    "compatible_baselines",
+]

@@ -1,0 +1,26 @@
+"""DistMSM core: the paper's multi-GPU Pippenger adaptation (§3).
+
+* :mod:`repro.core.workload` — the per-thread workload model of §3.1 that
+  drives window-size selection (Fig. 3).
+* :mod:`repro.core.scatter` — hierarchical bucket scatter (Alg. 3) executed
+  functionally on the simulated GPU, plus analytic count formulas.
+* :mod:`repro.core.bucket_sum` — multi-thread-per-bucket accumulation.
+* :mod:`repro.core.bucket_reduce` — CPU-offloaded bucket reduction.
+* :mod:`repro.core.planner` — window / bucket-slice distribution over GPUs.
+* :mod:`repro.core.distmsm` — the engine tying it all together.
+"""
+
+from repro.core.config import DistMsmConfig
+from repro.core.distmsm import DistMsm, DistMsmResult
+from repro.core.multi_msm import proof_msm_schedule, schedule_pipeline
+from repro.core.workload import optimal_window_size, per_thread_workload
+
+__all__ = [
+    "DistMsmConfig",
+    "DistMsm",
+    "DistMsmResult",
+    "optimal_window_size",
+    "per_thread_workload",
+    "proof_msm_schedule",
+    "schedule_pipeline",
+]

@@ -1,0 +1,143 @@
+"""Jacobian-coordinate group law — the legacy kernels' representation.
+
+Pre-XYZZ GPU provers (the Mina-era gpu-groth16-prover generation) used
+Jacobian coordinates ``(X, Y, Z)`` with ``x = X/Z^2, y = Y/Z^3``.  A general
+Jacobian addition costs 16 modular multiplications (11M + 5S) against
+XYZZ's 14, and the mixed (affine-operand) addition 11 against PACC's 10 —
+one of the reasons the paper's XYZZ choice wins.  This module implements
+the Jacobian law so baselines' arithmetic profile can be studied and
+cross-validated against the XYZZ implementation.
+
+Formulas: add-2007-bl / madd-2007-bl / dbl-2007-b (EFD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.curves.params import CurveParams
+from repro.curves.point import AffinePoint
+
+#: modular-multiplication counts (M + S) per operation
+JADD_MODMULS = 16
+JMIXED_MODMULS = 11
+JDBL_MODMULS = 9
+
+
+@dataclass(frozen=True)
+class JacobianPoint:
+    """A point in Jacobian coordinates; ``z == 0`` encodes the identity."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 0
+
+    @staticmethod
+    def identity() -> "JacobianPoint":
+        return JacobianPoint(1, 1, 0)
+
+    @staticmethod
+    def from_affine(pt: AffinePoint) -> "JacobianPoint":
+        if pt.infinity:
+            return JacobianPoint.identity()
+        return JacobianPoint(pt.x, pt.y, 1)
+
+    @property
+    def is_identity(self) -> bool:
+        return self.z == 0
+
+
+def jacobian_double(pt: JacobianPoint, curve: CurveParams) -> JacobianPoint:
+    """dbl-2007-b, valid for any curve coefficient ``a``."""
+    if pt.is_identity or pt.y == 0:
+        return JacobianPoint.identity()
+    p = curve.p
+    xx = pt.x * pt.x % p
+    yy = pt.y * pt.y % p
+    yyyy = yy * yy % p
+    zz = pt.z * pt.z % p
+    s = 2 * (pow(pt.x + yy, 2, p) - xx - yyyy) % p
+    m = (3 * xx + curve.a * zz % p * zz) % p
+    t = (m * m - 2 * s) % p
+    y3 = (m * (s - t) - 8 * yyyy) % p
+    z3 = (pow(pt.y + pt.z, 2, p) - yy - zz) % p
+    return JacobianPoint(t, y3, z3)
+
+
+def jacobian_add(p1: JacobianPoint, p2: JacobianPoint, curve: CurveParams) -> JacobianPoint:
+    """add-2007-bl with the identity / doubling / inverse edge cases."""
+    if p1.is_identity:
+        return p2
+    if p2.is_identity:
+        return p1
+    p = curve.p
+    z1z1 = p1.z * p1.z % p
+    z2z2 = p2.z * p2.z % p
+    u1 = p1.x * z2z2 % p
+    u2 = p2.x * z1z1 % p
+    s1 = p1.y * p2.z % p * z2z2 % p
+    s2 = p2.y * p1.z % p * z1z1 % p
+    h = (u2 - u1) % p
+    r = 2 * (s2 - s1) % p
+    if h == 0:
+        if r == 0:
+            return jacobian_double(p1, curve)
+        return JacobianPoint.identity()
+    i = pow(2 * h, 2, p)
+    j = h * i % p
+    v = u1 * i % p
+    x3 = (r * r - j - 2 * v) % p
+    y3 = (r * (v - x3) - 2 * s1 * j) % p
+    z3 = (pow(p1.z + p2.z, 2, p) - z1z1 - z2z2) % p * h % p
+    return JacobianPoint(x3, y3, z3)
+
+
+def jacobian_mixed_add(acc: JacobianPoint, pt: AffinePoint, curve: CurveParams) -> JacobianPoint:
+    """madd-2007-bl: accumulate an affine point (``Z2 = 1``)."""
+    if pt.infinity:
+        return acc
+    if acc.is_identity:
+        return JacobianPoint.from_affine(pt)
+    p = curve.p
+    z1z1 = acc.z * acc.z % p
+    u2 = pt.x * z1z1 % p
+    s2 = pt.y * acc.z % p * z1z1 % p
+    h = (u2 - acc.x) % p
+    r = 2 * (s2 - acc.y) % p
+    if h == 0:
+        if r == 0:
+            return jacobian_double(acc, curve)
+        return JacobianPoint.identity()
+    hh = h * h % p
+    i = 4 * hh % p
+    j = h * i % p
+    v = acc.x * i % p
+    x3 = (r * r - j - 2 * v) % p
+    y3 = (r * (v - x3) - 2 * acc.y * j) % p
+    z3 = (pow(acc.z + h, 2, p) - z1z1 - hh) % p
+    return JacobianPoint(x3, y3, z3)
+
+
+def jacobian_to_affine(pt: JacobianPoint, curve: CurveParams) -> AffinePoint:
+    if pt.is_identity:
+        return AffinePoint.identity()
+    p = curve.p
+    z_inv = pow(pt.z, -1, p)
+    z2 = z_inv * z_inv % p
+    return AffinePoint(pt.x * z2 % p, pt.y * z2 % p * z_inv % p)
+
+
+def jacobian_pmul(pt: AffinePoint, k: int, curve: CurveParams) -> AffinePoint:
+    """Double-and-add scalar multiplication in Jacobian coordinates."""
+    if k < 0:
+        from repro.curves.point import affine_neg
+
+        return jacobian_pmul(affine_neg(pt, curve), -k, curve)
+    acc = JacobianPoint.identity()
+    base = JacobianPoint.from_affine(pt)
+    while k:
+        if k & 1:
+            acc = jacobian_add(acc, base, curve)
+        base = jacobian_double(base, curve)
+        k >>= 1
+    return jacobian_to_affine(acc, curve)

@@ -1,0 +1,55 @@
+"""Small number-theory helpers used by the curve registry and tests."""
+
+from __future__ import annotations
+
+import random
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+]
+
+
+def is_probable_prime(n: int, rounds: int = 40, seed: int = 0xD157) -> bool:
+    """Miller–Rabin primality test with deterministic pseudo-random bases.
+
+    ``rounds = 40`` gives an error probability below 2^-80, ample for
+    validating curve parameters.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    rng = random.Random(seed)
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime_3_mod_4(start: int) -> int:
+    """Smallest prime ``p >= start`` with ``p % 4 == 3``."""
+    candidate = start
+    if candidate % 2 == 0:
+        candidate += 1
+    while candidate % 4 != 3:
+        candidate += 2
+    while not is_probable_prime(candidate):
+        candidate += 4
+    return candidate

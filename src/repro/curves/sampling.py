@@ -1,0 +1,99 @@
+"""Deterministic generation of MSM problem instances.
+
+The paper's benchmarks draw random point/scalar vectors per curve.  Scalar
+multiplication per point would be O(λ) group operations each; instead we use
+a random-walk construction (each point is the previous plus a secret stride,
+one PADD per point) followed by batch normalisation to affine coordinates
+with a single field inversion (Montgomery's trick).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.curves.params import CurveParams
+from repro.curves.point import (
+    AffinePoint,
+    XyzzPoint,
+    pmul,
+    xyzz_add,
+)
+
+
+def sample_scalars(curve: CurveParams, n: int, seed: int = 0) -> list[int]:
+    """``n`` uniformly random scalars in ``[0, r)``, deterministic in ``seed``."""
+    rng = random.Random(("scalars", curve.name, seed).__repr__())
+    return [rng.randrange(curve.r) for _ in range(n)]
+
+
+def sample_points(curve: CurveParams, n: int, seed: int = 0) -> list[AffinePoint]:
+    """``n`` finite curve points via a seeded random walk from the generator.
+
+    On tiny curves (tests) a randomly chosen stride can have small order,
+    collapsing the walk onto a short cycle through the identity; degenerate
+    walks are detected and re-rolled deterministically.
+    """
+    if n <= 0:
+        return []
+    rng = random.Random(("points", curve.name, seed).__repr__())
+    generator = AffinePoint(curve.gx, curve.gy)
+    for _ in range(64):
+        base = pmul(generator, rng.randrange(1, curve.r), curve)
+        stride = pmul(generator, rng.randrange(1, curve.r), curve)
+        if base.infinity or stride.infinity:
+            continue
+        stride_xyzz = XyzzPoint.from_affine(stride)
+        walk = []
+        current = XyzzPoint.from_affine(base)
+        for _ in range(n):
+            walk.append(current)
+            current = xyzz_add(current, stride_xyzz, curve)
+        points = batch_to_affine(walk, curve)
+        if any(pt.infinity for pt in points):
+            continue  # the walk crossed the identity — reroll
+        probe = points[: min(n, 32)]
+        if len({(pt.x, pt.y) for pt in probe}) < min(len(probe), _group_bound(curve)):
+            continue
+        return points
+    raise RuntimeError(f"could not build a non-degenerate walk on {curve.name}")
+
+
+def _group_bound(curve: CurveParams) -> int:
+    """Distinctness cannot exceed the group size (matters for toy curves)."""
+    return max(2, min(1 << 20, curve.r - 1))
+
+
+def batch_to_affine(points: list[XyzzPoint], curve: CurveParams) -> list[AffinePoint]:
+    """Normalise many XYZZ points with one inversion (Montgomery's trick).
+
+    Inverts the product of all ``ZZZ`` and ``ZZ`` values at once, then peels
+    individual inverses off with two multiplications per point.
+    """
+    p = curve.p
+    finite = [(i, pt) for i, pt in enumerate(points) if not pt.is_identity]
+    out: list[AffinePoint] = [AffinePoint.identity()] * len(points)
+    if not finite:
+        return out
+
+    # prefix[k] = product of the first k (zz * zzz) values
+    prefix = [1]
+    for _, pt in finite:
+        prefix.append(prefix[-1] * (pt.zz * pt.zzz % p) % p)
+    inv = pow(prefix[-1], -1, p)
+    for k in range(len(finite) - 1, -1, -1):
+        idx, pt = finite[k]
+        pair_inv = inv * prefix[k] % p  # 1 / (zz_k * zzz_k)
+        inv = inv * (pt.zz * pt.zzz % p) % p
+        zz_inv = pair_inv * pt.zzz % p
+        zzz_inv = pair_inv * pt.zz % p
+        out[idx] = AffinePoint(pt.x * zz_inv % p, pt.y * zzz_inv % p)
+    return out
+
+
+def msm_instance(
+    curve: CurveParams,
+    n: int,
+    seed: int = 0,
+) -> tuple[list[int], list[AffinePoint]]:
+    """A full MSM instance: ``n`` scalars and ``n`` base points."""
+    return sample_scalars(curve, n, seed), sample_points(curve, n, seed)

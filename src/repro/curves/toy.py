@@ -1,0 +1,71 @@
+"""A tiny self-validating curve for tests and micro-benchmarks.
+
+``y^2 = x^3 + 7`` over ``GF(1009)``: small enough to enumerate the whole
+group (order computed by brute force, generator chosen with maximal order),
+so group-law edge cases — doubling, inverse pairs, the identity — surface
+quickly under randomised testing.  Real experiments use the registry
+curves; this one exists purely as instrumentation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.curves.params import CurveParams
+
+
+def _divisors(n: int) -> list:
+    out = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            out.extend([d, n // d])
+        d += 1
+    return sorted(set(out))
+
+
+@lru_cache(maxsize=1)
+def toy_curve() -> CurveParams:
+    """Build (once) the toy curve with a maximal-order generator."""
+    from repro.curves.point import AffinePoint, pmul_affine
+
+    p = 1009
+    a, b = 0, 7
+    points = 1  # the point at infinity
+    for x in range(p):
+        rhs = (x * x * x + a * x + b) % p
+        if rhs == 0:
+            points += 1
+        elif pow(rhs, (p - 1) // 2, p) == 1:
+            points += 2
+
+    def order_of(x: int, y: int) -> int:
+        for d in _divisors(points):
+            if pmul_affine(AffinePoint(x, y), d, p, a).infinity:
+                return d
+        return points
+
+    gx = gy = None
+    best_order = 0
+    for x in range(p):
+        rhs = (x**3 + a * x + b) % p
+        if rhs == 0 or pow(rhs, (p - 1) // 2, p) != 1:
+            continue
+        y = next(yy for yy in range(p) if (yy * yy) % p == rhs)
+        order = order_of(x, y)
+        if order > best_order:
+            best_order, gx, gy = order, x, y
+        if best_order == points:
+            break
+    return CurveParams(
+        name="TOY1009",
+        p=p,
+        r=points,  # the full group order; fine for scalar reduction
+        a=a,
+        b=b,
+        gx=gx,
+        gy=gy,
+        cofactor=1,
+        synthetic=True,
+        tags=("toy",),
+    )

@@ -1,0 +1,30 @@
+"""Simulated multi-GPU substrate.
+
+The paper's artifact is CUDA/HIP on DGX A100 nodes; here the hardware is
+replaced by a two-layer model (DESIGN.md §2):
+
+* a *functional* layer (:mod:`repro.gpu.device`) that executes the real
+  algorithms with thread-block/shared-memory semantics, producing bit-exact
+  results and true event counts;
+* an *analytic* layer (:mod:`repro.gpu.timing`) that maps event counts and
+  kernel descriptors to milliseconds through occupancy and throughput models
+  calibrated against the paper's published figures.
+"""
+
+from repro.gpu.cluster import MultiGpuSystem
+from repro.gpu.counters import EventCounters
+from repro.gpu.occupancy import OccupancyResult, occupancy_for
+from repro.gpu.specs import AMD_6900XT, DGX_A100, GpuSpec, HostCpuSpec, NVIDIA_A100, RTX_4090
+
+__all__ = [
+    "MultiGpuSystem",
+    "EventCounters",
+    "OccupancyResult",
+    "occupancy_for",
+    "GpuSpec",
+    "HostCpuSpec",
+    "NVIDIA_A100",
+    "RTX_4090",
+    "AMD_6900XT",
+    "DGX_A100",
+]

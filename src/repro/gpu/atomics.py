@@ -1,0 +1,72 @@
+"""Atomic-operation contention model (paper §3.1 / §3.2.1).
+
+The cost of an atomic RMW "generally scales with the number of simultaneous
+writes to a memory address" (the paper cites Elteir et al.).  Two regimes
+matter for the scatter step:
+
+* *throughput-limited*: plenty of distinct addresses — each atomic costs its
+  base latency, hidden by massive parallelism;
+* *serialisation-limited*: many writers per address — same-address atomics
+  retry at roughly the L2 round-trip latency, so a window with ``2^s``
+  buckets serialises ``N / 2^s`` operations per counter.
+
+The second regime is exactly why the naive scatter collapses at the small
+window sizes multi-GPU scaling wants (Fig. 11), and why the hierarchical
+scheme stages traffic through shared memory where the serialisation unit is
+a thread block, not the whole GPU.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.specs import (
+    GLOBAL_ATOMIC_BASE_NS,
+    GLOBAL_ATOMIC_SERIAL_NS,
+    SHARED_ATOMIC_BASE_NS,
+    SHARED_ATOMIC_SERIAL_NS,
+    GpuSpec,
+)
+
+
+def expected_conflicts(active_threads: int, num_addresses: int) -> float:
+    """Expected simultaneous writers per address under uniform hashing."""
+    if num_addresses <= 0:
+        raise ValueError("num_addresses must be positive")
+    if active_threads < 0:
+        raise ValueError("active_threads must be non-negative")
+    return active_threads / num_addresses
+
+
+def global_serialization_ms(global_atomics: float, num_addresses: int) -> float:
+    """Serialisation-limited time: per-address queue at L2 latency."""
+    if num_addresses <= 0:
+        raise ValueError("num_addresses must be positive")
+    return (global_atomics / num_addresses) * GLOBAL_ATOMIC_SERIAL_NS * 1e-6
+
+
+def scatter_atomic_time_ms(
+    spec: GpuSpec,
+    global_atomics: float,
+    shared_atomics: float,
+    active_threads: int,
+    num_buckets: int,
+    threads_per_block: int = 1024,
+) -> float:
+    """Wall time of the scatter step's atomics on one GPU.
+
+    The global-atomic cost is the max of the throughput-limited and
+    serialisation-limited regimes; shared atomics serialise per block, and
+    blocks proceed in parallel waves across the SMs.
+    """
+    concurrency = max(1, min(active_threads, spec.concurrent_threads))
+    throughput_ms = (
+        (global_atomics * GLOBAL_ATOMIC_BASE_NS + shared_atomics * SHARED_ATOMIC_BASE_NS)
+        / concurrency
+    ) * 1e-6
+    global_ms = max(
+        throughput_ms, global_serialization_ms(global_atomics, num_buckets)
+    )
+    resident_blocks = max(1, concurrency // threads_per_block)
+    shared_ms = (
+        (shared_atomics / num_buckets) * SHARED_ATOMIC_SERIAL_NS / resident_blocks
+    ) * 1e-6
+    return global_ms + shared_ms

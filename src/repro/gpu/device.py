@@ -1,0 +1,106 @@
+"""Functional GPU execution contexts: thread blocks and shared memory.
+
+These classes give the algorithm implementations (hierarchical bucket
+scatter, bucket-sum) real block/shared-memory semantics to run against:
+capacity limits are enforced and every atomic / sync / prefix-sum is
+counted.  They execute the actual computation — the outputs feed the same
+code paths as the serial reference, so correctness is testable end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.counters import EventCounters
+from repro.gpu.specs import GpuSpec
+
+
+class SharedMemoryExceeded(Exception):
+    """Raised when a block's shared-memory allocations exceed capacity.
+
+    The paper hits exactly this wall: the hierarchical scatter "fails to
+    execute" for window sizes above 14 (Fig. 11).
+    """
+
+
+@dataclass
+class SharedMemory:
+    """A thread block's shared memory: capacity-checked word allocations."""
+
+    capacity_bytes: int
+    counters: EventCounters
+    _allocated: int = 0
+
+    def alloc_words(self, count: int) -> list[int]:
+        """Allocate ``count`` 32-bit words, zero-initialised."""
+        needed = 4 * count
+        if self._allocated + needed > self.capacity_bytes:
+            raise SharedMemoryExceeded(
+                f"requested {needed} B with {self._allocated} B in use "
+                f"(capacity {self.capacity_bytes} B)"
+            )
+        self._allocated += needed
+        return [0] * count
+
+    @property
+    def bytes_in_use(self) -> int:
+        return self._allocated
+
+    def atomic_inc(self, array: list[int], index: int) -> int:
+        """Shared-memory atomic increment; returns the previous value."""
+        old = array[index]
+        array[index] = old + 1
+        self.counters.shared_atomics += 1
+        return old
+
+
+@dataclass
+class ThreadBlock:
+    """One thread block of the functional simulator."""
+
+    block_id: int
+    num_threads: int
+    shared: SharedMemory
+    counters: EventCounters
+
+    def syncthreads(self) -> None:
+        self.counters.block_syncs += 1
+
+    def parallel_prefix_sum(self, array: list[int]) -> list[int]:
+        """Exclusive prefix sum across the block (one counted primitive)."""
+        self.counters.prefix_sums += 1
+        out = []
+        total = 0
+        for v in array:
+            out.append(total)
+            total += v
+        return out
+
+
+@dataclass
+class SimulatedGpu:
+    """One GPU of the cluster: spec, counters, and block factory."""
+
+    spec: GpuSpec
+    gpu_id: int = 0
+    counters: EventCounters = field(default_factory=EventCounters)
+    #: shared memory available to one scatter block; the paper's example
+    #: uses 128 KB for point-id storage in a 1024-thread block.
+    scatter_shm_bytes: int = 128 * 1024
+
+    def new_block(self, block_id: int, num_threads: int) -> ThreadBlock:
+        if num_threads <= 0 or num_threads % self.spec.warp_size:
+            raise ValueError("block size must be a positive warp multiple")
+        shm = SharedMemory(self.scatter_shm_bytes, self.counters)
+        return ThreadBlock(block_id, num_threads, shm, self.counters)
+
+    def global_atomic_add(self, array: list[int], index: int, value: int = 1) -> int:
+        """Device-memory atomic add; returns the previous value."""
+        old = array[index]
+        array[index] = old + value
+        self.counters.global_atomics += 1
+        return old
+
+    def launch(self) -> None:
+        """Record one kernel launch (fixed host-side overhead each)."""
+        self.counters.kernel_launches += 1

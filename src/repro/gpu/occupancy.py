@@ -1,0 +1,68 @@
+"""Occupancy calculation: registers / shared memory -> resident threads.
+
+Follows the CUDA occupancy rules the paper's §4.2 reasoning relies on: a
+thread block's register and shared-memory demands bound how many threads an
+SM can keep resident; occupancy in turn bounds latency hiding and therefore
+sustained throughput (the efficiency mapping lives in
+:mod:`repro.gpu.timing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import GpuSpec
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Occupancy outcome for one kernel configuration."""
+
+    threads_per_sm: int
+    occupancy: float  # resident threads / max threads, in [0, 1]
+    limited_by: str  # "registers" | "shared_memory" | "threads"
+    regs_per_thread: int
+    forced_local_spill: bool  # demanded more than the per-thread cap
+
+
+def occupancy_for(
+    spec: GpuSpec,
+    regs_per_thread: int,
+    shm_per_block_bytes: int = 0,
+    threads_per_block: int = 256,
+) -> OccupancyResult:
+    """Resident threads per SM for a kernel's resource demands.
+
+    Register demand beyond the hardware cap cannot reduce occupancy further —
+    the compiler pins usage at the cap and spills the excess to local memory
+    (flagged via ``forced_local_spill``; the timing model charges for it).
+    """
+    if regs_per_thread <= 0:
+        raise ValueError("regs_per_thread must be positive")
+    if threads_per_block <= 0 or threads_per_block % spec.warp_size:
+        raise ValueError("threads_per_block must be a positive warp multiple")
+
+    forced_spill = regs_per_thread > spec.max_regs_per_thread
+    effective_regs = min(regs_per_thread, spec.max_regs_per_thread)
+
+    by_regs = spec.registers_per_sm // effective_regs
+    by_threads = spec.max_threads_per_sm
+    limits = {"registers": by_regs, "threads": by_threads}
+
+    if shm_per_block_bytes > 0:
+        shm_per_sm = spec.shared_mem_per_sm_kb * 1024
+        blocks_by_shm = shm_per_sm // shm_per_block_bytes
+        limits["shared_memory"] = blocks_by_shm * threads_per_block
+
+    limiting = min(limits, key=limits.get)
+    threads = min(limits.values())
+    # warp granularity
+    threads = (threads // spec.warp_size) * spec.warp_size
+    threads = min(threads, spec.max_threads_per_sm)
+    return OccupancyResult(
+        threads_per_sm=threads,
+        occupancy=threads / spec.max_threads_per_sm,
+        limited_by=limiting,
+        regs_per_thread=regs_per_thread,
+        forced_local_spill=forced_spill,
+    )

@@ -1,0 +1,32 @@
+"""Tensor-core availability and throughput helpers.
+
+The numerics of TC big-integer multiplication live in
+:mod:`repro.kernels.montmul_tc`; this module answers the hardware-side
+questions the timing model asks: does this GPU have int8 MMA units, and at
+what rate relative to its CUDA cores (the paper's "8x" on A100)?
+"""
+
+from __future__ import annotations
+
+from repro.gpu.specs import GpuSpec
+
+
+def tc_available(spec: GpuSpec) -> bool:
+    """Whether this GPU exposes int8 matrix units usable for the workload."""
+    return spec.tc_int8_tops > 0
+
+
+def tc_advantage(spec: GpuSpec) -> float:
+    """Tensor-core int32-equivalent throughput over CUDA cores.
+
+    The paper's A100 example: 624 int8 TOPS = 156 int32-equivalent TOPS,
+    8x the 19.5 TOPS CUDA cores.
+    """
+    if not tc_available(spec):
+        return 0.0
+    return spec.tc_int32_equiv_tops / spec.int32_tops
+
+
+def mma_tile_ops(m: int = 16, n: int = 8, k: int = 32) -> int:
+    """int8 MACs in one mma.sync tile (A100's 16x8x32 int8 shape)."""
+    return m * n * k

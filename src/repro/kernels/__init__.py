@@ -1,0 +1,33 @@
+"""GPU kernel models: the paper's §4 contributions, executed for real.
+
+* :mod:`repro.kernels.dag` — PADD/PACC as operation DAGs with the register
+  liveness semantics of the paper's analysis (a Montgomery multiplication
+  needs a fresh temporary; subtraction can be computed in place).
+* :mod:`repro.kernels.scheduler` — exhaustive search over topological orders
+  for the execution sequence minimising peak live big integers (§4.2.1).
+* :mod:`repro.kernels.spill` — explicit register spilling to shared memory
+  (§4.2.2) with furthest-next-use victim selection.
+* :mod:`repro.kernels.montmul_tc` — Montgomery multiplication's ``m x n``
+  step as a real uint8 matrix multiplication (§4.3).
+* :mod:`repro.kernels.compaction` — on-the-fly compaction of tensor-core
+  uint32 outputs into 45-bit partials (§4.3, Fig. 7).
+* :mod:`repro.kernels.padd_kernel` — the kernel descriptor combining all of
+  the above into registers/occupancy/cost-per-operation figures used by the
+  GPU timing model.
+"""
+
+from repro.kernels.dag import OpDag, build_pacc_dag, build_padd_dag, peak_live
+from repro.kernels.padd_kernel import KernelDescriptor, KernelOptimisations
+from repro.kernels.scheduler import find_optimal_schedule
+from repro.kernels.spill import plan_spills
+
+__all__ = [
+    "OpDag",
+    "build_pacc_dag",
+    "build_padd_dag",
+    "peak_live",
+    "KernelDescriptor",
+    "KernelOptimisations",
+    "find_optimal_schedule",
+    "plan_spills",
+]

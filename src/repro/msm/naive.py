@@ -1,0 +1,38 @@
+"""Reference MSM: the definition, computed directly."""
+
+from __future__ import annotations
+
+from repro.curves.params import CurveParams
+from repro.curves.point import (
+    AffinePoint,
+    XyzzPoint,
+    pdbl,
+    to_affine,
+    xyzz_add,
+)
+
+
+def naive_msm(scalars: list[int], points: list[AffinePoint], curve: CurveParams) -> AffinePoint:
+    """Compute ``sum(k_i * P_i)`` by double-and-add, sharing the doubling chain.
+
+    Processes scalars bit-serially from the most significant bit: doubling the
+    accumulator once per bit and adding every point whose bit is set.  This is
+    O(λ·(1 + N/2)) group operations — slow, but independently correct, which
+    is exactly what a reference needs.
+    """
+    if len(scalars) != len(points):
+        raise ValueError(f"length mismatch: {len(scalars)} scalars, {len(points)} points")
+    if any(k < 0 for k in scalars):
+        raise ValueError("scalars must be non-negative")
+    if not scalars:
+        return AffinePoint.identity()
+
+    max_bits = max((k.bit_length() for k in scalars), default=0)
+    acc = XyzzPoint.identity()
+    bases = [XyzzPoint.from_affine(pt) for pt in points]
+    for bit in range(max_bits - 1, -1, -1):
+        acc = pdbl(acc, curve)
+        for k, base in zip(scalars, bases):
+            if (k >> bit) & 1:
+                acc = xyzz_add(acc, base, curve)
+    return to_affine(acc, curve)

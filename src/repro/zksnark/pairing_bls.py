@@ -1,0 +1,159 @@
+"""The BLS12-381 ate pairing — the second pairing family the paper's
+curves span (BLS12-377/381 provers use exactly this construction).
+
+Tower: ``Fp2 = Fp[i]/(i^2 + 1)`` and the flat
+``Fp12 = Fp[w]/(w^12 - 2 w^6 + 2)`` — equivalent to the usual
+``Fp6 = Fp2[v]/(v^3 - (1 + i))``, ``Fp12 = Fp6[w]/(w^2 - v)`` because
+``w^6 = 1 + i`` satisfies ``(w^6 - 1)^2 = -1``.
+
+The BLS ate pairing is *simpler* than BN's optimal ate: the Miller loop
+runs over the curve parameter ``|u|`` with no Frobenius tail steps.  Final
+exponentiation is the plain ``(p^12 - 1) / r`` power (slow, unambiguous),
+shared through :func:`final_exponentiate_bls`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.curves.params import BLS12_381_U, curve_by_name
+from repro.zksnark.pairing import (
+    FQP,
+    is_on_curve_fq,
+    point_add,
+    point_double,
+    point_mul,
+    point_neg,
+)
+
+_BLS = curve_by_name("BLS12-381")
+P_BLS = _BLS.p
+R_BLS = _BLS.r
+
+#: the BLS ate loop count is |u| for the curve parameter u (u < 0 here)
+ATE_LOOP_COUNT_BLS = -BLS12_381_U
+LOG_ATE_LOOP_COUNT_BLS = ATE_LOOP_COUNT_BLS.bit_length() - 2
+
+
+class FQ2B(FQP):
+    degree = 2
+    modulus_coeffs = (1, 0)  # i^2 = -1
+    prime = P_BLS
+
+
+class FQ12B(FQP):
+    degree = 12
+    modulus_coeffs = (2, 0, 0, 0, 0, 0, -2, 0, 0, 0, 0, 0)  # w^12 = 2w^6 - 2
+    prime = P_BLS
+
+
+#: twisted-curve coefficient: b2 = 4 * (1 + i)
+B2_BLS = FQ2B([4, 4])
+B12_BLS = FQ12B.from_int(4)
+
+G1_GENERATOR_BLS = (_BLS.gx, _BLS.gy)
+
+G2_GENERATOR_BLS = (
+    FQ2B(
+        [
+            0x024AA2B2F08F0A91260805272DC51051C6E47AD4FA403B02B4510B647AE3D1770BAC0326A805BBEFD48056C8C121BDB8,
+            0x13E02B6052719F607DACD3A088274F65596BD0D09920B61AB5DA61BBDC7F5049334CF11213945D57E5AC7D055D042B7E,
+        ]
+    ),
+    FQ2B(
+        [
+            0x0CE5D527727D6E118CC9CDC6DA2E351AADFD9BAA8CBDD3A76D429A695160D12C923AC9CC3BACA289E193548608B82801,
+            0x0606C4A02EA734CC32ACD2B02BC28B99CB3E287E85A763AF267492AB572E99AB3F370D275CEC1DA1AAA9075FF05F79BE,
+        ]
+    ),
+)
+
+
+def twist_bls(pt):
+    """Map a G2 point over Fp2 onto the Fp12 curve (``i -> w^6 - 1``)."""
+    if pt is None:
+        return None
+    x, y = pt
+    xc = [x.coeffs[0] - x.coeffs[1], x.coeffs[1]]
+    yc = [y.coeffs[0] - y.coeffs[1], y.coeffs[1]]
+    nx = FQ12B([xc[0], 0, 0, 0, 0, 0, xc[1], 0, 0, 0, 0, 0])
+    ny = FQ12B([yc[0], 0, 0, 0, 0, 0, yc[1], 0, 0, 0, 0, 0])
+    w = FQ12B([0, 1] + [0] * 10)
+    return (nx / w**2, ny / w**3)
+
+
+def cast_g1_to_fq12_bls(pt):
+    if pt is None:
+        return None
+    x, y = pt
+    return (FQ12B.from_int(x), FQ12B.from_int(y))
+
+
+def _linefunc(p1, p2, t):
+    x1, y1 = p1
+    x2, y2 = p2
+    xt, yt = t
+    if x1 != x2:
+        m = (y2 - y1) / (x2 - x1)
+        return m * (xt - x1) - (yt - y1)
+    if y1 == y2:
+        m = (3 * x1 * x1) / (2 * y1)
+        return m * (xt - x1) - (yt - y1)
+    return xt - x1
+
+
+def miller_loop_bls(q, p_pt) -> FQ12B:
+    """The BLS ate Miller loop (no Frobenius tail), sans final exp."""
+    if q is None or p_pt is None:
+        return FQ12B.one()
+    r_pt = q
+    f = FQ12B.one()
+    for i in range(LOG_ATE_LOOP_COUNT_BLS, -1, -1):
+        f = f * f * _linefunc(r_pt, r_pt, p_pt)
+        r_pt = point_double(r_pt)
+        if ATE_LOOP_COUNT_BLS & (1 << i):
+            f = f * _linefunc(r_pt, q, p_pt)
+            r_pt = point_add(r_pt, q)
+    return f
+
+
+@lru_cache(maxsize=1)
+def _final_exponent_bls() -> int:
+    return (P_BLS**12 - 1) // R_BLS
+
+
+def final_exponentiate_bls(f: FQ12B) -> FQ12B:
+    return f ** _final_exponent_bls()
+
+
+def pairing_bls(q2, p1) -> FQ12B:
+    """``e(P1, Q2)`` on BLS12-381; inputs as in the BN254 module."""
+    _check_inputs(q2, p1)
+    f = miller_loop_bls(twist_bls(q2), cast_g1_to_fq12_bls(p1))
+    return final_exponentiate_bls(f)
+
+
+def pairing_check_bls(pairs: list) -> bool:
+    """Whether ``prod e(P_i, Q_i) == 1`` with one final exponentiation."""
+    acc = FQ12B.one()
+    for p1, q2 in pairs:
+        _check_inputs(q2, p1)
+        acc = acc * miller_loop_bls(twist_bls(q2), cast_g1_to_fq12_bls(p1))
+    return final_exponentiate_bls(acc) == FQ12B.one()
+
+
+def _check_inputs(q2, p1) -> None:
+    if p1 is not None:
+        x, y = p1
+        if (y * y - x * x * x - _BLS.b) % P_BLS:
+            raise ValueError("G1 point is not on BLS12-381")
+    if q2 is not None and not is_on_curve_fq(q2, B2_BLS):
+        raise ValueError("G2 point is not on the BLS12-381 twist")
+
+
+def g2_mul_bls(pt, k: int):
+    return point_mul(pt, k)
+
+
+def g2_neg_bls(pt):
+    return point_neg(pt)

@@ -1,0 +1,106 @@
+"""R1CS -> QAP (quadratic arithmetic program) over an NTT domain.
+
+Constraint ``k`` is attached to domain point ``omega^k``; per-variable
+polynomials ``A_i, B_i, C_i`` interpolate the columns of the constraint
+matrices.  A witness satisfies the R1CS iff
+``A(x) * B(x) - C(x)`` is divisible by the vanishing polynomial
+``Z(x) = x^n - 1``, and the quotient ``h(x)`` is exactly what the Groth16
+prover commits to.  The division runs on a multiplicative coset where ``Z``
+is a non-zero constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.zksnark.ntt import NttDomain
+from repro.zksnark.r1cs import R1cs
+
+#: coset shift used for the Z-division (any non-root of unity works)
+COSET_SHIFT = 5
+
+
+@dataclass
+class Qap:
+    """An R1CS instance lifted to polynomial form on an NTT domain."""
+
+    r1cs: R1cs
+    domain: NttDomain
+
+    @classmethod
+    def from_r1cs(cls, r1cs: R1cs) -> "Qap":
+        size = max(2, 1 << max(1, (max(1, r1cs.num_constraints) - 1).bit_length()))
+        return cls(r1cs, NttDomain(r1cs.modulus, size))
+
+    # -- witness-combined evaluations ------------------------------------
+
+    def combined_evaluations(self, assignment: list[int]) -> tuple[list[int], list[int], list[int]]:
+        """Domain evaluations of ``A(x)``, ``B(x)``, ``C(x)`` for a witness.
+
+        ``A(omega^k) = <A_k, z>`` by construction — no interpolation needed.
+        """
+        n = self.domain.size
+        a_evals = [0] * n
+        b_evals = [0] * n
+        c_evals = [0] * n
+        for k, constraint in enumerate(self.r1cs.constraints):
+            a_evals[k] = self.r1cs.row_dot(constraint.a, assignment)
+            b_evals[k] = self.r1cs.row_dot(constraint.b, assignment)
+            c_evals[k] = self.r1cs.row_dot(constraint.c, assignment)
+        return a_evals, b_evals, c_evals
+
+    def quotient_coefficients(self, assignment: list[int]) -> list[int]:
+        """Coefficients of ``h(x) = (A*B - C) / Z`` (degree < n - 1).
+
+        Interpolate A, B, C to coefficient form, re-evaluate on a coset,
+        divide by the (constant) coset value of ``Z``, interpolate back.
+        Raises ``ValueError`` if the witness does not satisfy the R1CS
+        (the quotient's top coefficients would not vanish).
+        """
+        p = self.domain.modulus
+        a_evals, b_evals, c_evals = self.combined_evaluations(assignment)
+        a_coeff = self.domain.intt(a_evals)
+        b_coeff = self.domain.intt(b_evals)
+        c_coeff = self.domain.intt(c_evals)
+
+        shift = COSET_SHIFT
+        a_coset = self.domain.coset_ntt(a_coeff, shift)
+        b_coset = self.domain.coset_ntt(b_coeff, shift)
+        c_coset = self.domain.coset_ntt(c_coeff, shift)
+        z_value = self.domain.vanishing_on_coset(shift)
+        z_inv = pow(z_value, -1, p)
+
+        h_coset = [
+            (a * b - c) % p * z_inv % p
+            for a, b, c in zip(a_coset, b_coset, c_coset)
+        ]
+        h_coeff = self.domain.coset_intt(h_coset, shift)
+        # deg(A*B - C) <= 2n-2, so deg(h) <= n-2: for a satisfying witness
+        # the top coefficient of the n recovered values must vanish
+        if h_coeff[-1] != 0:
+            raise ValueError("witness does not satisfy the constraint system")
+        return h_coeff[:-1]
+
+    # -- per-variable polynomials (setup side) ------------------------------
+
+    def variable_polynomials(self) -> tuple[list, list, list]:
+        """Coefficient-form ``A_i``, ``B_i``, ``C_i`` for every variable.
+
+        O(variables x n log n); only the trusted setup runs this.
+        """
+        n = self.domain.size
+        num_vars = self.r1cs.num_variables
+        a_cols = [[0] * n for _ in range(num_vars)]
+        b_cols = [[0] * n for _ in range(num_vars)]
+        c_cols = [[0] * n for _ in range(num_vars)]
+        for k, constraint in enumerate(self.r1cs.constraints):
+            for var, coeff in constraint.a.items():
+                a_cols[var][k] = coeff
+            for var, coeff in constraint.b.items():
+                b_cols[var][k] = coeff
+            for var, coeff in constraint.c.items():
+                c_cols[var][k] = coeff
+        a_polys = [self.domain.intt(col) for col in a_cols]
+        b_polys = [self.domain.intt(col) for col in b_cols]
+        c_polys = [self.domain.intt(col) for col in c_cols]
+        return a_polys, b_polys, c_polys

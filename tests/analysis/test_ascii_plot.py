@@ -1,0 +1,48 @@
+"""ASCII plot renderer."""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot({"up": [1, 2, 3, 4]}, width=20, height=5)
+        assert "u" in out
+        assert "legend: u = up" in out
+
+    def test_extremes_on_correct_rows(self):
+        out = ascii_plot({"série": [1.0, 9.0]}, width=10, height=4)
+        lines = out.splitlines()
+        assert "s" in lines[0]  # max on the top row
+        assert "s" in lines[3]  # min on the bottom row
+
+    def test_log_scale(self):
+        out = ascii_plot({"x": [1, 10, 100]}, log_y=True, height=5)
+        assert "100" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"x": [0, 1]}, log_y=True)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1, 2], "b": [1]})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1]})
+
+    def test_x_labels_rendered(self):
+        out = ascii_plot({"a": [1, 2]}, x_labels=["lo", "hi"])
+        assert "lo" in out
+        assert "hi" in out
+
+    def test_constant_series(self):
+        out = ascii_plot({"flat": [5, 5, 5]})
+        assert "f" in out
+
+    def test_multiple_series_markers(self):
+        out = ascii_plot({"alpha": [1, 2], "beta": [2, 1]})
+        assert "a = alpha" in out
+        assert "b = beta" in out

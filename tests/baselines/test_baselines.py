@@ -1,0 +1,152 @@
+"""Baseline systems: Table 2 compatibility, correctness, relative ranking."""
+
+import pytest
+
+from repro.baselines.base import BaselineMsm
+from repro.baselines.registry import (
+    all_baselines,
+    baseline_by_name,
+    best_gpu,
+    compatible_baselines,
+)
+from repro.core.distmsm import DistMsm
+from repro.curves.params import curve_by_name
+from repro.curves.sampling import msm_instance
+from repro.gpu.cluster import MultiGpuSystem
+from repro.msm.naive import naive_msm
+
+BN254 = curve_by_name("BN254")
+BLS377 = curve_by_name("BLS12-377")
+BLS381 = curve_by_name("BLS12-381")
+MNT = curve_by_name("MNT4753")
+
+
+class TestTable2Matrix:
+    """The paper's Table 2: which baseline supports which curve."""
+
+    def test_identifiers(self):
+        assert [b.ident for b in all_baselines()] == [1, 2, 3, 4, 5, 6]
+
+    @pytest.mark.parametrize(
+        "name,curves",
+        [
+            ("Bellperson", {"BLS12-381"}),
+            ("cuZK", {"BLS12-377", "BLS12-381", "MNT4753"}),
+            ("Icicle", {"BN254", "BLS12-377", "BLS12-381"}),
+            ("Mina", {"MNT4753"}),
+            ("Sppark", {"BN254", "BLS12-377", "BLS12-381"}),
+            ("Yrrid", {"BLS12-377"}),
+        ],
+    )
+    def test_supported_curves(self, name, curves):
+        assert set(baseline_by_name(name).curves) == curves
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            baseline_by_name("gnark")
+
+    def test_compatible_baselines(self):
+        assert {b.name for b in compatible_baselines(MNT)} == {"cuZK", "Mina"}
+        assert {b.name for b in compatible_baselines(BN254)} == {"Icicle", "Sppark"}
+
+    def test_unsupported_curve_rejected(self):
+        yrrid = baseline_by_name("Yrrid")
+        with pytest.raises(ValueError):
+            yrrid.estimate(BN254, 1 << 20, MultiGpuSystem(1))
+
+
+class TestFunctionalCorrectness:
+    """Baselines must compute correct MSMs, not just model times."""
+
+    @pytest.mark.parametrize("name,curve", [
+        ("Sppark", BN254),
+        ("Icicle", BN254),
+        ("cuZK", BLS381),
+        ("Bellperson", BLS381),
+        ("Yrrid", BLS377),
+    ])
+    def test_baseline_execute_matches_naive(self, name, curve):
+        baseline = baseline_by_name(name)
+        scalars, points = msm_instance(curve, 10, seed=3)
+        expected = naive_msm(scalars, points, curve)
+        # shrink the window so tiny instances stay fast
+        from dataclasses import replace
+
+        small = replace(baseline, config=replace(baseline.config, window_size=6))
+        result = small.execute(scalars, points, curve, MultiGpuSystem(2))
+        assert result.point == expected
+
+
+class TestRanking:
+    """The relative orderings the paper's Table 3 superscripts encode."""
+
+    def test_sppark_wins_bn254(self):
+        _, winner = best_gpu(BN254, 1 << 26, MultiGpuSystem(1))
+        assert winner.name == "Sppark"
+
+    def test_yrrid_wins_bls377_single_gpu(self):
+        _, winner = best_gpu(BLS377, 1 << 26, MultiGpuSystem(1))
+        assert winner.name == "Yrrid"
+
+    def test_mina_wins_mnt4753(self):
+        for gpus in (1, 8):
+            _, winner = best_gpu(MNT, 1 << 26, MultiGpuSystem(gpus))
+            assert winner.name == "Mina"
+
+    def test_cuzk_wins_bls381_multi_gpu(self):
+        _, winner = best_gpu(BLS381, 1 << 26, MultiGpuSystem(16))
+        assert winner.name == "cuZK"
+
+    def test_distmsm_beats_bg_multi_gpu(self):
+        """The headline: DistMSM outperforms every baseline at scale."""
+        for curve in (BN254, BLS381, MNT):
+            system = MultiGpuSystem(16)
+            bg, _ = best_gpu(curve, 1 << 26, system)
+            dist = DistMsm(system).estimate(curve, 1 << 26)
+            assert dist.time_ms < bg.time_ms
+
+    def test_distmsm_loses_to_yrrid_at_one_gpu_28(self):
+        """Paper: single-GPU DistMSM 'lags behind Yrrid for BLS12-377'."""
+        system = MultiGpuSystem(1)
+        yrrid = baseline_by_name("Yrrid").estimate(BLS377, 1 << 28, system)
+        dist = DistMsm(system).estimate(BLS377, 1 << 28)
+        # within 2x either way at one GPU; the paper's exact 0.5-0.7x ratio
+        # is a known deviation recorded in EXPERIMENTS.md
+        assert 0.4 < yrrid.time_ms / dist.time_ms < 2.0
+
+    def test_mnt_speedup_band(self):
+        """Paper: 10-20x over Mina on MNT4753."""
+        system = MultiGpuSystem(8)
+        bg, _ = best_gpu(MNT, 1 << 28, system)
+        dist = DistMsm(system).estimate(MNT, 1 << 28)
+        assert 8 <= bg.time_ms / dist.time_ms <= 22
+
+    def test_efficiency_overrides(self):
+        cuzk = baseline_by_name("cuZK")
+        assert cuzk.efficiency_for(MNT) < cuzk.efficiency_for(BLS381)
+        assert cuzk.efficiency_for(BLS381) == cuzk.config.efficiency
+
+
+class TestWindowPolicies:
+    def test_fixed_window(self):
+        sppark = baseline_by_name("Sppark")
+        assert sppark.window_size_for(BN254, 1 << 26, 1, MultiGpuSystem(1).spec) == 16
+
+    def test_autotune_frozen_ignores_gpu_count(self):
+        """Yrrid's precompute tables pin s to the single-GPU choice."""
+        yrrid = baseline_by_name("Yrrid")
+        spec = MultiGpuSystem(1).spec
+        s1 = yrrid.window_size_for(BLS377, 1 << 26, 1, spec)
+        s32 = yrrid.window_size_for(BLS377, 1 << 26, 32, spec)
+        assert s1 == s32
+        assert s1 is not None
+
+    def test_system_policy_adapts(self):
+        cuzk = baseline_by_name("cuZK")
+        spec = MultiGpuSystem(1).spec
+        s1 = cuzk.window_size_for(BLS381, 1 << 26, 1, spec)
+        s32 = cuzk.window_size_for(BLS381, 1 << 26, 32, spec)
+        assert s32 <= s1
+
+    def test_repr(self):
+        assert "Yrrid" in repr(baseline_by_name("Yrrid"))

@@ -1,0 +1,25 @@
+"""Shared fixtures: real curves plus a small toy curve for exhaustive tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.curves.params import CurveParams, curve_by_name
+from repro.curves.toy import toy_curve
+
+TOY_CURVE = toy_curve()
+
+
+@pytest.fixture(scope="session")
+def toy_curve_fixture() -> CurveParams:
+    return TOY_CURVE
+
+
+@pytest.fixture(scope="session")
+def bn254() -> CurveParams:
+    return curve_by_name("BN254")
+
+
+@pytest.fixture(scope="session", params=["BN254", "BLS12-377", "BLS12-381", "MNT4753"])
+def any_curve(request) -> CurveParams:
+    return curve_by_name(request.param)

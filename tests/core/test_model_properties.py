@@ -1,0 +1,110 @@
+"""Property tests on the timing model's structural invariants.
+
+The analytic model backs every reproduced number, so its *shape* must be
+trustworthy independently of calibration: times positive, monotone in
+problem size, non-increasing in GPU count (at large N), and stable across
+repeated evaluation.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import DistMsmConfig
+from repro.core.distmsm import DistMsm
+from repro.curves.params import curve_by_name, list_curves
+from repro.gpu.cluster import MultiGpuSystem
+from repro.gpu.device import SharedMemoryExceeded
+
+CURVES = {c.name: c for c in list_curves()}
+
+configs = st.builds(
+    DistMsmConfig,
+    window_size=st.integers(8, 14),
+    scatter=st.sampled_from(["hierarchical", "naive"]),
+    bucket_reduce_on_cpu=st.booleans(),
+    multi_gpu=st.sampled_from(["bucket-split", "windows", "ndim"]),
+    signed_digits=st.booleans(),
+    gpu_reduce=st.sampled_from(["scan", "simd"]),
+)
+
+
+class TestEstimateInvariants:
+    @given(
+        configs,
+        st.sampled_from(sorted(CURVES)),
+        st.integers(1, 32),
+        st.integers(16, 26),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_time_positive_and_finite(self, config, curve_name, gpus, log_n):
+        engine = DistMsm(MultiGpuSystem(gpus), config)
+        result = engine.estimate(CURVES[curve_name], 1 << log_n)
+        assert 0 < result.time_ms < 1e9
+        assert all(v >= 0 for v in result.times.as_dict().values())
+
+    @given(configs, st.integers(1, 16), st.integers(18, 25))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_problem_size(self, config, gpus, log_n):
+        engine = DistMsm(MultiGpuSystem(gpus), config)
+        curve = CURVES["BLS12-381"]
+        small = engine.estimate(curve, 1 << log_n).time_ms
+        large = engine.estimate(curve, 1 << (log_n + 2)).time_ms
+        assert large > small
+
+    @given(st.integers(18, 26))
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic(self, log_n):
+        engine = DistMsm(MultiGpuSystem(8))
+        curve = CURVES["BN254"]
+        assert (
+            engine.estimate(curve, 1 << log_n).time_ms
+            == engine.estimate(curve, 1 << log_n).time_ms
+        )
+
+    @given(st.sampled_from(sorted(CURVES)))
+    @settings(max_examples=8, deadline=None)
+    def test_more_gpus_never_hurt_at_scale(self, curve_name):
+        """At N=2^26 the default engine must benefit from more GPUs."""
+        curve = CURVES[curve_name]
+        times = [
+            DistMsm(MultiGpuSystem(g)).estimate(curve, 1 << 26).time_ms
+            for g in (1, 4, 16)
+        ]
+        assert times[0] > times[1] > times[2]
+
+    @given(st.sampled_from(sorted(CURVES)), st.integers(1, 32))
+    @settings(max_examples=20, deadline=None)
+    def test_wider_curves_cost_more(self, curve_name, gpus):
+        curve = CURVES[curve_name]
+        if curve.name == "BN254":
+            return
+        engine_args = (MultiGpuSystem(gpus),)
+        t_bn = DistMsm(*engine_args).estimate(CURVES["BN254"], 1 << 24).time_ms
+        t_curve = DistMsm(*engine_args).estimate(curve, 1 << 24).time_ms
+        assert t_curve > t_bn
+
+
+class TestFeasibilityBoundaries:
+    def test_hierarchical_scatter_window_cap_enforced_functionally(self):
+        """A fixed window beyond the shared-memory wall fails loudly in the
+        functional path — the Fig. 11 failure mode surfaces as an
+        exception, not silent corruption."""
+        from repro.curves.sampling import msm_instance
+
+        curve = curve_by_name("BN254")
+        scalars, points = msm_instance(curve, 4, seed=1)
+        cfg = DistMsmConfig(window_size=16, scatter="hierarchical")
+        engine = DistMsm(MultiGpuSystem(1), cfg)
+        with pytest.raises(SharedMemoryExceeded):
+            engine.execute(scalars, points, curve)
+
+    def test_analytic_path_same_failure(self):
+        cfg = DistMsmConfig(window_size=16, scatter="hierarchical")
+        engine = DistMsm(MultiGpuSystem(1), cfg)
+        with pytest.raises(SharedMemoryExceeded):
+            engine.estimate(curve_by_name("BN254"), 1 << 20)
+
+    def test_naive_scatter_unaffected_by_wall(self):
+        cfg = DistMsmConfig(window_size=16, scatter="naive")
+        engine = DistMsm(MultiGpuSystem(1), cfg)
+        assert engine.estimate(curve_by_name("BN254"), 1 << 20).time_ms > 0

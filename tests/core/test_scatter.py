@@ -1,0 +1,182 @@
+"""Hierarchical bucket scatter (Algorithm 3): functional and analytic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import DistMsmConfig
+from repro.core.scatter import (
+    check_shared_memory_fit,
+    expected_nonempty_buckets,
+    hierarchical_scatter,
+    hierarchical_scatter_counts,
+    naive_scatter,
+    naive_scatter_counts,
+    scatter_time_ms,
+)
+from repro.gpu.device import SharedMemoryExceeded, SimulatedGpu
+from repro.gpu.specs import NVIDIA_A100
+
+SMALL_CONFIG = DistMsmConfig(threads_per_block=32, points_per_thread=4)
+
+
+def _reference_buckets(digits, num_buckets):
+    buckets = [[] for _ in range(num_buckets)]
+    for pid, d in enumerate(digits):
+        if d:
+            buckets[d].append(pid)
+    return buckets
+
+
+def _random_digits(n, num_buckets, seed):
+    rng = random.Random(seed)
+    return [rng.randrange(num_buckets) for _ in range(n)]
+
+
+class TestNaiveScatter:
+    def test_buckets_match_reference(self):
+        digits = _random_digits(200, 16, 1)
+        gpu = SimulatedGpu(NVIDIA_A100)
+        out = naive_scatter(gpu, digits, 16)
+        assert out.buckets == _reference_buckets(digits, 16)
+
+    def test_one_atomic_per_nonzero_digit(self):
+        digits = [0, 1, 2, 0, 3, 3]
+        gpu = SimulatedGpu(NVIDIA_A100)
+        out = naive_scatter(gpu, digits, 4)
+        assert out.counters.global_atomics == 4
+
+    def test_zero_digits_skipped(self):
+        gpu = SimulatedGpu(NVIDIA_A100)
+        out = naive_scatter(gpu, [0] * 10, 4)
+        assert out.counters.global_atomics == 0
+        assert all(not b for b in out.buckets)
+
+
+class TestHierarchicalScatter:
+    @pytest.mark.parametrize("n", [10, 128, 500])
+    def test_buckets_match_reference(self, n):
+        digits = _random_digits(n, 8, n)
+        gpu = SimulatedGpu(NVIDIA_A100)
+        out = hierarchical_scatter(gpu, digits, 8, SMALL_CONFIG)
+        # hierarchical order within a bucket may be block-major; compare sets
+        reference = _reference_buckets(digits, 8)
+        assert [sorted(b) for b in out.buckets] == [sorted(b) for b in reference]
+
+    def test_fewer_global_atomics_than_naive(self):
+        """The whole point of Algorithm 3: one global atomic per non-empty
+        local bucket instead of one per point."""
+        digits = _random_digits(2000, 8, 3)
+        g1, g2 = SimulatedGpu(NVIDIA_A100), SimulatedGpu(NVIDIA_A100)
+        hier = hierarchical_scatter(g1, digits, 8, SMALL_CONFIG)
+        naive = naive_scatter(g2, digits, 8)
+        assert hier.counters.global_atomics < naive.counters.global_atomics / 10
+
+    def test_two_shared_atomics_per_point(self):
+        digits = [1, 2, 3, 1] * 8
+        gpu = SimulatedGpu(NVIDIA_A100)
+        out = hierarchical_scatter(gpu, digits, 4, SMALL_CONFIG)
+        assert out.counters.shared_atomics == 2 * len(digits)
+
+    def test_prefix_sum_per_block(self):
+        config = SMALL_CONFIG  # capacity 128 points per block
+        digits = _random_digits(300, 8, 5)
+        gpu = SimulatedGpu(NVIDIA_A100)
+        out = hierarchical_scatter(gpu, digits, 8, config)
+        assert out.counters.prefix_sums == 3  # ceil(300 / 128)
+
+    def test_shared_memory_wall(self):
+        """Paper Fig. 11: execution failure when 2^s counters + cache
+        exceed shared memory."""
+        gpu = SimulatedGpu(NVIDIA_A100)  # 128 KB scatter shared memory
+        digits = [1] * 10
+        with pytest.raises(SharedMemoryExceeded):
+            hierarchical_scatter(gpu, digits, 1 << 15, DistMsmConfig())
+
+    def test_check_shared_memory_fit(self):
+        check_shared_memory_fit(1 << 14, DistMsmConfig(points_per_thread=8))
+        with pytest.raises(SharedMemoryExceeded):
+            check_shared_memory_fit(1 << 15, DistMsmConfig())
+
+    @given(st.integers(1, 300), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_property_membership_preserved(self, n, log_buckets):
+        num_buckets = 1 << (log_buckets + 1)
+        digits = _random_digits(n, num_buckets, n * 7 + log_buckets)
+        gpu = SimulatedGpu(NVIDIA_A100)
+        out = hierarchical_scatter(gpu, digits, num_buckets, SMALL_CONFIG)
+        for b, members in enumerate(out.buckets):
+            for pid in members:
+                assert digits[pid] == b
+        total = sum(len(b) for b in out.buckets)
+        assert total == sum(1 for d in digits if d)
+
+
+class TestAnalyticCounts:
+    def test_expected_nonempty_buckets_bounds(self):
+        assert expected_nonempty_buckets(0, 10) == 0.0
+        assert expected_nonempty_buckets(10_000, 16) == pytest.approx(16, rel=0.01)
+        with pytest.raises(ValueError):
+            expected_nonempty_buckets(5, 0)
+
+    def test_naive_counts_match_functional(self):
+        n, buckets = 4096, 16
+        digits = _random_digits(n, buckets, 11)
+        gpu = SimulatedGpu(NVIDIA_A100)
+        functional = naive_scatter(gpu, digits, buckets)
+        analytic = naive_scatter_counts(n, buckets)
+        assert analytic.global_atomics == pytest.approx(
+            functional.counters.global_atomics, rel=0.05
+        )
+
+    def test_hierarchical_counts_match_functional(self):
+        n, buckets = 4096, 16
+        config = DistMsmConfig(threads_per_block=32, points_per_thread=4)
+        digits = _random_digits(n, buckets, 13)
+        gpu = SimulatedGpu(NVIDIA_A100)
+        functional = hierarchical_scatter(gpu, digits, buckets, config)
+        analytic = hierarchical_scatter_counts(n, buckets, config)
+        assert analytic.shared_atomics == pytest.approx(
+            functional.counters.shared_atomics, rel=0.05
+        )
+        assert analytic.global_atomics == pytest.approx(
+            functional.counters.global_atomics, rel=0.10
+        )
+        assert analytic.prefix_sums == functional.counters.prefix_sums
+
+    def test_analytic_respects_shared_memory_wall(self):
+        with pytest.raises(SharedMemoryExceeded):
+            hierarchical_scatter_counts(1000, 1 << 15, DistMsmConfig())
+
+
+class TestScatterTiming:
+    def test_hierarchical_wins_at_small_windows(self):
+        """Fig. 11's multi-GPU regime: small s -> hierarchical much faster."""
+        n = 1 << 22
+        s = 9
+        naive_t = scatter_time_ms(
+            NVIDIA_A100, naive_scatter_counts(n, 1 << s), 1 << s, 1 << 17
+        )
+        hier_t = scatter_time_ms(
+            NVIDIA_A100,
+            hierarchical_scatter_counts(n, 1 << s, DistMsmConfig()),
+            1 << s,
+            1 << 17,
+        )
+        assert naive_t > 5 * hier_t
+
+    def test_naive_wins_at_large_windows(self):
+        """Fig. 11's single-GPU regime: large s -> naive is fine."""
+        n = 1 << 22
+        s = 14
+        naive_t = scatter_time_ms(
+            NVIDIA_A100, naive_scatter_counts(n, 1 << s), 1 << s, 1 << 17
+        )
+        hier_t = scatter_time_ms(
+            NVIDIA_A100,
+            hierarchical_scatter_counts(n, 1 << s, DistMsmConfig()),
+            1 << s,
+            1 << 17,
+        )
+        assert naive_t < hier_t * 1.5

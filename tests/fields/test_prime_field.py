@@ -1,0 +1,103 @@
+"""Prime-field element API tests."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fields.prime_field import PrimeField
+
+F13 = PrimeField(13)
+F_BN = PrimeField(21888242871839275222246405745257275088696311157297823662689037894645226208583)
+
+
+class TestBasics:
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            PrimeField(1)
+
+    def test_constants(self):
+        assert int(F13.zero) == 0
+        assert int(F13.one) == 1
+
+    def test_arithmetic(self):
+        assert int(F13(7) + F13(8)) == 2
+        assert int(F13(7) - F13(8)) == 12
+        assert int(F13(7) * F13(8)) == 4
+        assert int(-F13(1)) == 12
+
+    def test_int_coercion(self):
+        assert F13(7) + 8 == F13(2)
+        assert 8 + F13(7) == F13(2)
+        assert 1 - F13(2) == F13(12)
+        assert F13(5) == 18  # int equality mod p
+
+    def test_mixed_fields_rejected(self):
+        with pytest.raises(ValueError):
+            F13(1) + PrimeField(17)(1)
+
+    def test_division_and_inverse(self):
+        x = F13(5)
+        assert int(x * x.inverse()) == 1
+        assert int(F13(10) / F13(5)) == 2
+
+    def test_zero_inverse_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            F13.zero.inverse()
+
+    def test_pow_negative_exponent(self):
+        assert F13(5) ** -1 == F13(5).inverse()
+
+    def test_hash_and_eq(self):
+        assert len({F13(5), F13(5 + 13)}) == 1
+
+    def test_repr_mentions_modulus(self):
+        assert "mod" in repr(F13(5))
+
+
+class TestFieldAxioms:
+    @given(st.integers(0, 10**9), st.integers(0, 10**9), st.integers(0, 10**9))
+    def test_distributivity(self, a, b, c):
+        x, y, z = F_BN(a), F_BN(b), F_BN(c)
+        assert x * (y + z) == x * y + x * z
+
+    @given(st.integers(1, 10**9))
+    def test_inverse_cancels(self, a):
+        x = F_BN(a)
+        assert x * x.inverse() == F_BN.one
+
+
+class TestSqrt:
+    def test_sqrt_of_zero(self):
+        assert int(F13.zero.sqrt()) == 0
+
+    def test_sqrt_of_square(self):
+        for v in range(1, 13):
+            sq = F13(v * v)
+            root = sq.sqrt()
+            assert root is not None
+            assert root * root == sq
+
+    def test_non_residue_returns_none(self):
+        # 2 is a non-residue mod 13
+        assert F13(2).sqrt() is None
+
+    def test_tonelli_shanks_path(self):
+        # p = 17 has p % 4 == 1, forcing the Tonelli–Shanks branch
+        f17 = PrimeField(17)
+        for v in range(1, 17):
+            sq = f17(v * v)
+            root = sq.sqrt()
+            assert root * root == sq
+
+    def test_large_field_sqrt(self):
+        rng = random.Random(7)
+        for _ in range(5):
+            v = F_BN(rng.randrange(1, F_BN.modulus))
+            sq = v * v
+            root = sq.sqrt()
+            assert root * root == sq
+
+    def test_random_sampler(self):
+        rng = random.Random(0)
+        assert 0 <= int(F_BN.random(rng)) < F_BN.modulus

@@ -1,0 +1,86 @@
+"""Device-memory footprint model."""
+
+import pytest
+
+from repro.core.config import DistMsmConfig
+from repro.curves.params import curve_by_name
+from repro.gpu.memory import (
+    DEVICE_MEMORY_BYTES,
+    affine_point_bytes,
+    max_feasible_log_n,
+    msm_footprint,
+    xyzz_point_bytes,
+)
+from repro.gpu.specs import AMD_6900XT, NVIDIA_A100, RTX_4090
+
+BN254 = curve_by_name("BN254")
+BLS377 = curve_by_name("BLS12-377")
+MNT = curve_by_name("MNT4753")
+
+
+class TestPointSizes:
+    def test_bn254(self):
+        assert affine_point_bytes(BN254) == 64
+        assert xyzz_point_bytes(BN254) == 128
+
+    def test_mnt4753(self):
+        assert affine_point_bytes(MNT) == 192
+
+
+class TestFootprint:
+    def test_inputs_validated(self):
+        with pytest.raises(ValueError):
+            msm_footprint(BN254, 0)
+        with pytest.raises(ValueError):
+            msm_footprint(BN254, 16, num_gpus=0)
+
+    def test_paper_scale_fits_a100(self):
+        """The paper runs N=2^28 on 80 GB A100s — it must fit."""
+        for curve in (BN254, BLS377, MNT):
+            fp = msm_footprint(curve, 1 << 28, DistMsmConfig(window_size=14))
+            assert fp.fits(NVIDIA_A100), curve.name
+
+    def test_precompute_multiplies_point_storage(self):
+        cfg = DistMsmConfig(window_size=16, precompute=True, scatter="naive")
+        plain = msm_footprint(BLS377, 1 << 26, DistMsmConfig(window_size=16))
+        pre = msm_footprint(BLS377, 1 << 26, cfg, window_size=16)
+        assert pre.points_bytes > 10 * plain.points_bytes
+
+    def test_precompute_at_753_bits_overflows(self):
+        """The capacity wall behind the precompute trade-off: 2^28 753-bit
+        points with full tables do not fit even in 80 GB."""
+        cfg = DistMsmConfig(window_size=16, precompute=True, scatter="naive")
+        fp = msm_footprint(MNT, 1 << 28, cfg, window_size=16)
+        assert not fp.fits(NVIDIA_A100)
+
+    def test_ndim_slices_points(self):
+        one = msm_footprint(BN254, 1 << 26, DistMsmConfig(multi_gpu="ndim", window_size=14), num_gpus=1)
+        eight = msm_footprint(BN254, 1 << 26, DistMsmConfig(multi_gpu="ndim", window_size=14), num_gpus=8)
+        assert eight.points_bytes == pytest.approx(one.points_bytes / 8, rel=0.01)
+
+    def test_window_strategies_replicate_points(self):
+        cfg = DistMsmConfig(window_size=14)
+        one = msm_footprint(BN254, 1 << 26, cfg, num_gpus=1)
+        eight = msm_footprint(BN254, 1 << 26, cfg, num_gpus=8)
+        assert eight.points_bytes == one.points_bytes
+
+    def test_unknown_gpu_capacity(self):
+        from dataclasses import replace
+
+        fp = msm_footprint(BN254, 1 << 20)
+        with pytest.raises(KeyError):
+            fp.fits(replace(NVIDIA_A100, name="H100"))
+
+    def test_capacity_table_covers_evaluated_gpus(self):
+        for spec in (NVIDIA_A100, RTX_4090, AMD_6900XT):
+            assert spec.name in DEVICE_MEMORY_BYTES
+
+
+class TestFeasibility:
+    def test_a100_handles_at_least_2_28_bn254(self):
+        assert max_feasible_log_n(BN254, DistMsmConfig(window_size=14)) >= 28
+
+    def test_rtx_smaller_than_a100(self):
+        a100 = max_feasible_log_n(MNT, DistMsmConfig(window_size=14), spec=NVIDIA_A100)
+        rtx = max_feasible_log_n(MNT, DistMsmConfig(window_size=14), spec=RTX_4090)
+        assert rtx < a100

@@ -1,0 +1,65 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are documentation that executes; these tests keep them honest.
+The Groth16-heavy ones are marked slow.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list | None = None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "MATCH" in out
+    assert "MISMATCH" not in out
+
+
+def test_kernel_tuning(capsys):
+    run_example("kernel_tuning.py")
+    out = capsys.readouterr().out
+    assert "exhaustive search -> 7" in out  # PACC optimal
+    assert "matches the reference: True" in out
+
+
+def test_multi_gpu_scaling(capsys):
+    run_example("multi_gpu_scaling.py")
+    out = capsys.readouterr().out
+    assert "optimal s = 20" in out
+    assert "bucket-split" in out
+
+
+def test_baseline_comparison(capsys):
+    run_example("baseline_comparison.py", ["BN254", "24"])
+    out = capsys.readouterr().out
+    assert "Sppark" in out
+    assert "BG =" in out
+
+
+@pytest.mark.slow
+def test_zksnark_proof(capsys):
+    run_example("zksnark_proof.py")
+    out = capsys.readouterr().out
+    assert "-> True" in out
+    assert "forged public input rejected" in out
+
+
+@pytest.mark.slow
+def test_zk_merkle_membership(capsys):
+    run_example("zk_merkle_membership.py")
+    out = capsys.readouterr().out
+    assert "a forged root is rejected: True" in out

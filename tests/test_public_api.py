@@ -1,0 +1,61 @@
+"""Top-level package API and the command-line interface."""
+
+import pytest
+
+import repro
+from repro.__main__ import main
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_msm_convenience(self):
+        from repro.curves.sampling import msm_instance
+        from repro.msm.naive import naive_msm
+
+        curve = repro.curve_by_name("BN254")
+        scalars, points = msm_instance(curve, 8, seed=3)
+        assert repro.msm(scalars, points, curve) == naive_msm(scalars, points, curve)
+
+    def test_msm_defaults_to_bn254(self):
+        from repro.curves.sampling import msm_instance
+
+        curve = repro.curve_by_name("BN254")
+        scalars, points = msm_instance(curve, 4, seed=4)
+        assert not repro.msm(scalars, points).infinity
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "fig11" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_msm_command(self, capsys):
+        assert main(["msm", "--curve", "BN254", "--log-n", "18", "--gpus", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "BN254" in out
+        assert "bucket_sum" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "MNT4753" in capsys.readouterr().out
+
+    def test_fig11_with_size(self, capsys):
+        assert main(["fig11", "--log-n", "22"]) == 0
+        assert "FAIL" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_table3_runs(self, capsys):
+        assert main(["table3"]) == 0
+        assert "average multi-GPU speedup" in capsys.readouterr().out

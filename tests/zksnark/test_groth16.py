@@ -1,0 +1,138 @@
+"""Groth16 end-to-end: setup, prove (through our MSM), verify (pairing)."""
+
+import random
+
+import pytest
+
+from repro.curves.params import curve_by_name
+from repro.zksnark.groth16 import Groth16
+from repro.zksnark.r1cs import R1cs
+from repro.zksnark.workloads import (
+    ALL_WORKLOADS,
+    hash_chain_circuit,
+    lenet_style_circuit,
+    sgd_step_circuit,
+    workload_circuit,
+)
+
+BN_R = curve_by_name("BN254").r
+
+
+def cubic_circuit():
+    r1cs = R1cs(modulus=BN_R)
+    out = r1cs.declare_public(1)[0]
+    x = r1cs.new_variable()
+    x2 = r1cs.new_variable()
+    x3 = r1cs.new_variable()
+    r1cs.enforce_product(x, x, x2)
+    r1cs.enforce_product(x2, x, x3)
+    r1cs.enforce_linear({x3: 1, x: 1, 0: 5}, out)
+    assignment = [1, 35, 3, 9, 27]
+    return r1cs, assignment
+
+
+class TestWorkloadCircuits:
+    @pytest.mark.parametrize(
+        "builder,kwargs",
+        [
+            (hash_chain_circuit, {"length": 10}),
+            (sgd_step_circuit, {"features": 3, "samples": 2}),
+            (lenet_style_circuit, {"channels": 2, "width": 3}),
+        ],
+    )
+    def test_generators_produce_satisfying_witnesses(self, builder, kwargs):
+        r1cs, assignment = builder(**kwargs)
+        assert r1cs.is_satisfied(assignment)
+        assert r1cs.num_constraints > 0
+        assert r1cs.num_public >= 1
+
+    def test_workload_specs(self):
+        """Table 4 metadata."""
+        sizes = {w.name: w.paper_constraints for w in ALL_WORKLOADS}
+        assert sizes["Zcash-Sprout"] == 2_585_747
+        assert sizes["Otti-SGD"] == 6_968_254
+        assert sizes["Zen_acc-LeNet"] == 77_689_757
+
+    def test_workload_circuit_dispatch(self):
+        for spec in ALL_WORKLOADS:
+            r1cs, assignment = workload_circuit(spec, scale=8)
+            assert r1cs.is_satisfied(assignment)
+        with pytest.raises(KeyError):
+            from repro.zksnark.workloads import WorkloadSpec
+
+            workload_circuit(WorkloadSpec("nope", 1, 1.0, ""), 1)
+
+    def test_hash_chain_size_scales(self):
+        small, _ = hash_chain_circuit(5)
+        large, _ = hash_chain_circuit(50)
+        assert large.num_constraints > 5 * small.num_constraints
+
+
+class TestGroth16Construction:
+    def test_requires_bn254_scalar_field(self):
+        with pytest.raises(ValueError):
+            Groth16(R1cs(modulus=17))
+
+    def test_prove_rejects_bad_witness(self):
+        r1cs, assignment = cubic_circuit()
+        g = Groth16(r1cs)
+        pk, _ = g.setup(random.Random(1))
+        bad = list(assignment)
+        bad[2] = 4
+        with pytest.raises(ValueError):
+            g.prove(pk, bad)
+
+    def test_verify_checks_public_count(self):
+        r1cs, assignment = cubic_circuit()
+        g = Groth16(r1cs)
+        pk, vk = g.setup(random.Random(1))
+        proof = g.prove(pk, assignment, random.Random(2))
+        with pytest.raises(ValueError):
+            g.verify(vk, proof, [1, 2])
+
+
+@pytest.mark.slow
+class TestGroth16EndToEnd:
+    @pytest.fixture(scope="class")
+    def system(self):
+        r1cs, assignment = cubic_circuit()
+        g = Groth16(r1cs)
+        pk, vk = g.setup(random.Random(11))
+        return g, pk, vk, r1cs, assignment
+
+    def test_honest_proof_verifies(self, system):
+        g, pk, vk, r1cs, assignment = system
+        proof = g.prove(pk, assignment, random.Random(12))
+        assert g.verify(vk, proof, r1cs.public_inputs(assignment))
+
+    def test_wrong_public_input_rejected(self, system):
+        g, pk, vk, r1cs, assignment = system
+        proof = g.prove(pk, assignment, random.Random(13))
+        assert not g.verify(vk, proof, [36])
+
+    def test_tampered_proof_rejected(self, system):
+        g, pk, vk, r1cs, assignment = system
+        from dataclasses import replace
+
+        from repro.curves.point import AffinePoint, pmul
+
+        proof = g.prove(pk, assignment, random.Random(14))
+        bn = curve_by_name("BN254")
+        tampered = replace(proof, c=pmul(proof.c, 2, bn))
+        assert not g.verify(vk, tampered, r1cs.public_inputs(assignment))
+
+    def test_zero_knowledge_blinding(self, system):
+        """Two proofs of the same statement differ (fresh blinding)."""
+        g, pk, vk, r1cs, assignment = system
+        p1 = g.prove(pk, assignment, random.Random(15))
+        p2 = g.prove(pk, assignment, random.Random(16))
+        assert p1.a != p2.a
+        assert g.verify(vk, p1, r1cs.public_inputs(assignment))
+        assert g.verify(vk, p2, r1cs.public_inputs(assignment))
+
+    def test_hash_chain_workload_proves(self):
+        r1cs, assignment = hash_chain_circuit(6, seed=7)
+        g = Groth16(r1cs)
+        pk, vk = g.setup(random.Random(21))
+        proof = g.prove(pk, assignment, random.Random(22))
+        assert g.verify(vk, proof, r1cs.public_inputs(assignment))

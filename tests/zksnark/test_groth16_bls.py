@@ -1,0 +1,70 @@
+"""Groth16 over the BLS12-381 backend — the protocol is curve-generic."""
+
+import random
+
+import pytest
+
+from repro.curves.params import curve_by_name
+from repro.zksnark.backend import backend_by_name
+from repro.zksnark.groth16 import Groth16
+from repro.zksnark.r1cs import R1cs
+
+BLS_R = curve_by_name("BLS12-381").r
+
+
+def bls_cubic_circuit():
+    r1cs = R1cs(modulus=BLS_R)
+    out = r1cs.declare_public(1)[0]
+    x = r1cs.new_variable()
+    x2 = r1cs.new_variable()
+    x3 = r1cs.new_variable()
+    r1cs.enforce_product(x, x, x2)
+    r1cs.enforce_product(x2, x, x3)
+    r1cs.enforce_linear({x3: 1, x: 1, 0: 5}, out)
+    return r1cs, [1, 35, 3, 9, 27]
+
+
+class TestBackendRegistry:
+    def test_bn254_default(self):
+        assert backend_by_name("BN254").curve.name == "BN254"
+
+    def test_bls12_381(self):
+        backend = backend_by_name("BLS12-381")
+        assert backend.curve.name == "BLS12-381"
+        assert backend.g2_generator is not None
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            backend_by_name("MNT4753")  # no pairing implemented
+
+    def test_wrong_field_rejected(self):
+        r1cs, _ = bls_cubic_circuit()
+        with pytest.raises(ValueError):
+            Groth16(r1cs, backend="BN254")
+
+
+@pytest.mark.slow
+class TestGroth16OverBls:
+    @pytest.fixture(scope="class")
+    def system(self):
+        r1cs, assignment = bls_cubic_circuit()
+        groth = Groth16(r1cs, backend="BLS12-381")
+        pk, vk = groth.setup(random.Random(71))
+        return groth, pk, vk, r1cs, assignment
+
+    def test_honest_proof_verifies(self, system):
+        groth, pk, vk, r1cs, assignment = system
+        proof = groth.prove(pk, assignment, random.Random(72))
+        assert groth.verify(vk, proof, r1cs.public_inputs(assignment))
+
+    def test_wrong_public_input_rejected(self, system):
+        groth, pk, vk, r1cs, assignment = system
+        proof = groth.prove(pk, assignment, random.Random(73))
+        assert not groth.verify(vk, proof, [36])
+
+    def test_bad_witness_rejected_at_prove(self, system):
+        groth, pk, _, _, assignment = system
+        bad = list(assignment)
+        bad[2] = 4
+        with pytest.raises(ValueError):
+            groth.prove(pk, bad)

@@ -1,0 +1,79 @@
+"""GPU-style NTT: functional stage-parallel execution and timing model."""
+
+import random
+
+import pytest
+
+from repro.curves.params import curve_by_name
+from repro.gpu.specs import NVIDIA_A100, RTX_4090
+from repro.zksnark.ntt import NttDomain
+from repro.zksnark.ntt_gpu import (
+    ntt_counts,
+    ntt_time_ms,
+    simulate_gpu_ntt,
+)
+
+BN_R = curve_by_name("BN254").r
+
+
+class TestFunctionalSimulation:
+    @pytest.mark.parametrize("log_n", [3, 6, 10])
+    def test_matches_serial_ntt(self, log_n):
+        n = 1 << log_n
+        dom = NttDomain(BN_R, n)
+        rng = random.Random(log_n)
+        values = [rng.randrange(BN_R) for _ in range(n)]
+        got, _ = simulate_gpu_ntt(dom, values)
+        assert got == dom.ntt(values)
+
+    def test_length_checked(self):
+        dom = NttDomain(BN_R, 8)
+        with pytest.raises(ValueError):
+            simulate_gpu_ntt(dom, [1, 2, 3])
+
+    def test_stage_count(self):
+        dom = NttDomain(BN_R, 64)
+        _, counters = simulate_gpu_ntt(dom, [0] * 64)
+        assert counters.stages == 6
+        assert counters.butterflies == 6 * 32
+
+    def test_wide_stages_force_global_sync(self):
+        dom = NttDomain(BN_R, 1 << 10)
+        _, counters = simulate_gpu_ntt(dom, [0] * (1 << 10), threads_per_block=256)
+        # spans 256..512 -> stages with half >= 256: lengths 512 and 1024
+        assert counters.global_syncs == 2
+
+    def test_small_transform_stays_in_block(self):
+        dom = NttDomain(BN_R, 64)
+        _, counters = simulate_gpu_ntt(dom, [0] * 64, threads_per_block=256)
+        assert counters.global_syncs == 0
+        assert counters.kernel_launches == 1
+
+
+class TestAnalyticCounts:
+    def test_matches_functional(self):
+        dom = NttDomain(BN_R, 1 << 10)
+        _, functional = simulate_gpu_ntt(dom, [0] * (1 << 10))
+        analytic = ntt_counts(10)
+        assert analytic.butterflies == functional.butterflies
+        assert analytic.stages == functional.stages
+        assert analytic.device_bytes == functional.device_bytes
+        assert analytic.global_syncs == functional.global_syncs
+
+
+class TestTimingModel:
+    def test_time_grows_loglinearly(self):
+        t20 = ntt_time_ms(20)
+        t24 = ntt_time_ms(24)
+        # n log n scaling: 2^24 is 16x the points and 1.2x the stages
+        assert 14 < t24 / t20 < 25
+
+    def test_rtx_faster_or_memory_bound(self):
+        # NTT is bandwidth-heavy; A100's HBM can beat the RTX
+        assert ntt_time_ms(24, RTX_4090) > 0
+        assert ntt_time_ms(24, NVIDIA_A100) > 0
+
+    def test_magnitude_sane(self):
+        """A 2^24 NTT on an A100 lands in the few-ms band (Sppark-class)."""
+        t = ntt_time_ms(24)
+        assert 0.5 < t < 50

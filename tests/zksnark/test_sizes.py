@@ -1,0 +1,83 @@
+"""Artifact size accounting: succinct proofs, linear proving keys."""
+
+import pytest
+
+from repro.curves.params import curve_by_name
+from repro.zksnark.serialize import PROOF_BYTES
+from repro.zksnark.sizes import (
+    g1_bytes,
+    g2_bytes,
+    groth16_sizes,
+    paper_scale_proving_key_mb,
+)
+from repro.zksnark.workloads import hash_chain_circuit
+
+BN254 = curve_by_name("BN254")
+
+
+class TestPointSizes:
+    def test_bn254_compressed(self):
+        assert g1_bytes(BN254) == 32
+        assert g2_bytes(BN254) == 64
+
+    def test_uncompressed_doubles(self):
+        assert g1_bytes(BN254, compressed=False) == 64
+
+    def test_bls12_381_larger(self):
+        bls = curve_by_name("BLS12-381")
+        assert g1_bytes(bls) == 48
+
+
+class TestCrsSizes:
+    def test_proof_is_succinct(self):
+        r1cs, _ = hash_chain_circuit(16)
+        sizes = groth16_sizes(r1cs)
+        assert sizes.proof_bytes == PROOF_BYTES
+        # the paper's headline: "proof sizes under 1 KB"
+        assert sizes.proof_bytes < 1024
+
+    def test_verifying_key_small(self):
+        r1cs, _ = hash_chain_circuit(16)
+        sizes = groth16_sizes(r1cs)
+        assert sizes.verifying_key_bytes < 1024
+
+    def test_proving_key_linear_in_circuit(self):
+        small, _ = hash_chain_circuit(8)
+        large, _ = hash_chain_circuit(64)
+        s = groth16_sizes(small).proving_key_bytes
+        l = groth16_sizes(large).proving_key_bytes
+        assert 4 < l / s < 12  # ~8x the circuit -> ~8x the key
+
+    def test_model_matches_real_pk(self):
+        """The byte model must track the actual proving-key element count."""
+        import random
+
+        from repro.zksnark.groth16 import Groth16
+
+        r1cs, _ = hash_chain_circuit(6)
+        pk, vk = Groth16(r1cs).setup(random.Random(3))
+        g1, g2 = g1_bytes(BN254), g2_bytes(BN254)
+        actual = (
+            3 * g1 + 2 * g2
+            + (len(pk.a_query) + len(pk.b_g1_query) + len(pk.l_query) + len(pk.h_query)) * g1
+            + len(pk.b_g2_query) * g2
+        )
+        modelled = groth16_sizes(r1cs).proving_key_bytes
+        assert modelled == pytest.approx(actual, rel=0.05)
+
+    def test_witness_bytes(self):
+        r1cs, assignment = hash_chain_circuit(5)
+        sizes = groth16_sizes(r1cs)
+        assert sizes.witness_bytes == len(assignment) * 32
+
+
+class TestPaperScale:
+    def test_zen_lenet_key_is_gigabytes(self):
+        """ZEN-LeNet's 77.7M constraints imply a multi-GB proving key —
+        why the paper's CRS handling matters."""
+        mb = paper_scale_proving_key_mb(77_689_757)
+        assert 10_000 < mb < 60_000  # 10-60 GB band
+
+    def test_zcash_key_hundreds_of_mb(self):
+        mb = paper_scale_proving_key_mb(2_585_747)
+        assert 300 < mb < 2000
