@@ -1,0 +1,40 @@
+# Local CI gate for the DistMSM reproduction.
+#
+# `make ci` runs, in order: ruff (lint), mypy (typecheck, scoped to the
+# packages pyproject.toml names), the repro.verify static-analysis pass,
+# and the tier-1 test suite.  ruff and mypy are optional dev extras — when
+# they are not installed the corresponding step is skipped with a notice
+# instead of failing, so the gate works in offline environments that only
+# carry the runtime deps.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: ci lint typecheck verify test
+
+ci: lint typecheck verify test
+	@echo "ci: all gates passed"
+
+lint:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		echo "== ruff check src/ tests/"; \
+		$(PYTHON) -m ruff check src tests || exit 1; \
+	else \
+		echo "== ruff not installed; skipping lint (pip install ruff)"; \
+	fi
+
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		echo "== mypy (packages from pyproject.toml)"; \
+		$(PYTHON) -m mypy || exit 1; \
+	else \
+		echo "== mypy not installed; skipping typecheck (pip install mypy)"; \
+	fi
+
+verify:
+	@echo "== python -m repro.verify"
+	@$(PYTHON) -m repro.verify
+
+test:
+	@echo "== pytest (tier 1)"
+	@$(PYTHON) -m pytest -x -q

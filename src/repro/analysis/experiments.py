@@ -9,9 +9,8 @@ counts) are computed, not transcribed.
 
 from __future__ import annotations
 
-import math
 import statistics
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.analysis import paper_data
 from repro.analysis.tables import format_table

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, replace
 
 from repro.core.config import DistMsmConfig
@@ -10,7 +9,7 @@ from repro.core.distmsm import DistMsm, DistMsmResult
 from repro.core.workload import optimal_window_size
 from repro.curves.params import CurveParams
 from repro.gpu.cluster import MultiGpuSystem
-from repro.gpu.specs import GpuSpec, NVIDIA_A100
+from repro.gpu.specs import GpuSpec
 
 
 @dataclass(frozen=True)

@@ -14,9 +14,9 @@ import math
 from dataclasses import dataclass
 
 from repro.curves.params import CurveParams
-from repro.curves.point import AffinePoint, XyzzPoint, affine_neg, xyzz_acc, xyzz_add
+from repro.curves.point import XyzzPoint, affine_neg, xyzz_acc, xyzz_add
 from repro.gpu.counters import EventCounters
-from repro.gpu.specs import GpuSpec
+from repro.gpu.trace import Kind, MemoryTrace, Space
 
 
 @dataclass
@@ -50,18 +50,36 @@ def bucket_sum(
     curve: CurveParams,
     n_threads: int,
     negate: list | None = None,
+    tracer: MemoryTrace | None = None,
+    block_id: int = 0,
 ) -> BucketSumOutput:
     """Sum each bucket's points with ``n_threads`` threads per bucket.
 
     ``buckets`` holds point-id lists (scatter output); ``negate`` optionally
-    flags point ids to accumulate negated (signed-digit support).
+    flags point ids to accumulate negated (signed-digit support).  With a
+    ``tracer`` attached, each bucket group's partial-sum stores and the tree
+    reduction's cross-lane reads — with the barrier separating every level —
+    are recorded for the ``repro.verify`` race detector.
     """
     if n_threads <= 0:
         raise ValueError("n_threads must be positive")
+
+    def trace(bucket: int, lane: int, slot: int, kind: Kind) -> None:
+        if tracer is not None:
+            tracer.record(
+                Space.SHARED,
+                "partials",
+                bucket * n_threads + slot,
+                kind,
+                atomic=False,
+                block=block_id,
+                thread=bucket * n_threads + lane,
+            )
+
     counters = EventCounters()
     counters.kernel_launches = 1
     sums = []
-    for members in buckets:
+    for bucket_id, members in enumerate(buckets):
         # deal members round-robin over the bucket's threads
         partials = [XyzzPoint.identity() for _ in range(min(n_threads, max(1, len(members))))]
         for i, point_id in enumerate(members):
@@ -70,12 +88,17 @@ def bucket_sum(
                 pt = affine_neg(pt, curve)  # preserves the identity
             lane = i % len(partials)
             partials[lane] = xyzz_acc(partials[lane], pt, curve)
+            trace(bucket_id, lane, lane, Kind.WRITE)
             counters.pacc += 1
         # binary tree reduction of the per-thread partials
         while len(partials) > 1:
+            if tracer is not None:
+                tracer.barrier(block_id)
             half = (len(partials) + 1) // 2
             for i in range(len(partials) - half):
+                trace(bucket_id, i, half + i, Kind.READ)
                 partials[i] = xyzz_add(partials[i], partials[half + i], curve)
+                trace(bucket_id, i, i, Kind.WRITE)
                 counters.padd += 1
             partials = partials[:half]
         sums.append(partials[0] if partials else XyzzPoint.identity())

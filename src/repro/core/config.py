@@ -54,7 +54,7 @@ class DistMsmConfig:
     gpu_reduce: str = "scan"
     #: toolchain the kernels were written in; HIP pays the platform
     #: penalty on AMD GPUs (paper Fig. 9) — DistMSM itself is HIP-based
-    api: str = "hip" 
+    api: str = "hip"
 
     def __post_init__(self):
         if self.scatter not in ("hierarchical", "naive"):

@@ -16,7 +16,6 @@ tests check functional and analytic counts agree on common inputs.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field, replace
 
 from repro.core.bucket_reduce import (
@@ -24,7 +23,6 @@ from repro.core.bucket_reduce import (
     cpu_bucket_reduce_counts,
     cpu_window_reduce,
     gpu_bucket_reduce_counts,
-    gpu_bucket_reduce_per_thread_ops,
 )
 from repro.core.bucket_sum import (
     bucket_sum,
@@ -40,7 +38,6 @@ from repro.core.scatter import (
     naive_scatter_counts,
     scatter_time_ms,
 )
-from repro.core.workload import optimal_window_size
 from repro.curves.params import CurveParams
 from repro.curves.point import AffinePoint, XyzzPoint, to_affine, xyzz_add
 from repro.curves.scalar import num_windows as window_count

@@ -24,6 +24,7 @@ from repro.gpu.atomics import scatter_atomic_time_ms
 from repro.gpu.counters import EventCounters
 from repro.gpu.device import SharedMemoryExceeded, SimulatedGpu
 from repro.gpu.specs import GpuSpec
+from repro.gpu.trace import Kind, Space
 from repro.gpu.timing import launch_overhead_ms, memory_read_time_ms
 
 #: bytes read per point per window (the window's scalar segment, coalesced)
@@ -44,19 +45,41 @@ def naive_scatter(
     gpu: SimulatedGpu,
     digits: list[int],
     num_buckets: int,
+    threads_per_block: int = 1024,
+    use_atomics: bool = True,
 ) -> ScatterOutput:
-    """One global atomic per non-zero coefficient (the baseline scheme)."""
+    """One global atomic per non-zero coefficient (the baseline scheme).
+
+    One thread per point.  ``use_atomics=False`` replaces the bucket-counter
+    atomic with a plain read-modify-write — a deliberate data race that
+    exists only so the ``repro.verify`` race detector has a known-broken
+    configuration to catch; the engine never runs it.
+    """
     counters = EventCounters()
     gpu.launch()
     counters.kernel_launches += 1
+    n = len(digits)
     bucket_sizes = [0] * num_buckets
     buckets: list[list[int]] = [[] for _ in range(num_buckets)]
+    bump = gpu.global_atomic_add if use_atomics else gpu.global_unsynced_add
     for point_id, digit in enumerate(digits):
         if digit == 0:
             continue
-        slot = gpu.global_atomic_add(bucket_sizes, digit)
+        blk, thread = divmod(point_id, threads_per_block)
+        slot = bump(bucket_sizes, digit, 1, "bucket_sizes", blk, thread)
         buckets[digit].append(point_id)
-        counters.global_atomics += 1
+        if gpu.tracer is not None:
+            # the reserved slot of the bucket's point-id segment
+            gpu.tracer.record(
+                Space.GLOBAL,
+                "bucket_points",
+                digit * n + slot,
+                Kind.WRITE,
+                atomic=False,
+                block=blk,
+                thread=thread,
+            )
+        counters.global_atomics += 1 if use_atomics else 0
         counters.device_bytes += POINT_ID_BYTES
         assert slot == len(buckets[digit]) - 1
     counters.device_bytes += len(digits) * COEFF_BYTES
@@ -84,43 +107,58 @@ def hierarchical_scatter(
     global_sizes = [0] * num_buckets
     buckets: list[list[int]] = [[] for _ in range(num_buckets)]
 
-    num_blocks = max(1, math.ceil(len(digits) / capacity))
+    n = len(digits)
+    num_blocks = max(1, math.ceil(n / capacity))
     for bid in range(num_blocks):
         block = gpu.new_block(bid, threads)
         # shared allocations: bucket counters + the point-id cache; offsets
         # reuse the counter array (prefix sum in place)
-        shm_counts = block.shared.alloc_words(num_buckets)
-        shm_cache = block.shared.alloc_words(threads * k)
+        shm_counts = block.shared.alloc_words(num_buckets, name="bucket_counts")
+        shm_cache = block.shared.alloc_words(threads * k, name="point_cache")
 
         chunk = digits[bid * capacity : (bid + 1) * capacity]
         reg_cache = []
         for local_id, digit in enumerate(chunk):
             reg_cache.append(digit)
             if digit != 0:
-                block.shared.atomic_inc(shm_counts, digit)
+                block.shared.atomic_inc(shm_counts, digit, thread=local_id % threads)
         block.syncthreads()
         shm_off = block.parallel_prefix_sum(shm_counts)
         block.syncthreads()
 
-        fill = [0] * num_buckets
+        # threads claim positions by atomically bumping a working copy of
+        # the offsets (which reuses the offset array's storage)
+        shm_claim = block.shared.alias(list(shm_off), shm_off)
         for local_id, digit in enumerate(reg_cache):
             if digit == 0:
                 continue
-            pos = shm_off[digit] + fill[digit]
-            fill[digit] += 1
-            block.counters.shared_atomics += 1  # atomic_inc(shm_off[...])
-            shm_cache[pos] = local_id
+            t = local_id % threads
+            pos = block.shared.atomic_inc(shm_claim, digit, thread=t)
+            block.shared.write(shm_cache, pos, local_id, thread=t)
         block.syncthreads()
 
         for bucket_id in range(num_buckets):
-            count = shm_counts[bucket_id]
+            t = bucket_id % threads
+            count = block.shared.read(shm_counts, bucket_id, thread=t)
             if count == 0:
                 continue
-            base = shm_off[bucket_id]
-            gpu.global_atomic_add(global_sizes, bucket_id, count)
+            base = block.shared.read(shm_off, bucket_id, thread=t)
+            start = gpu.global_atomic_add(
+                global_sizes, bucket_id, count, "bucket_sizes", bid, t
+            )
             for i in range(count):
-                local_id = shm_cache[base + i]
+                local_id = block.shared.read(shm_cache, base + i, thread=t)
                 buckets[bucket_id].append(bid * capacity + local_id)
+                if gpu.tracer is not None:
+                    gpu.tracer.record(
+                        Space.GLOBAL,
+                        "bucket_points",
+                        bucket_id * n + start + i,
+                        Kind.WRITE,
+                        atomic=False,
+                        block=bid,
+                        thread=t,
+                    )
             gpu.counters.device_bytes += count * POINT_ID_BYTES
 
     # report the delta accrued on the gpu-level counters during this scatter

@@ -27,19 +27,51 @@ from repro.gpu.specs import (
 )
 
 
+def _require_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def _require_non_negative(name: str, value: float) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def validate_contention(
+    num_addresses: int,
+    active_threads: int | None = None,
+    global_atomics: float | None = None,
+    shared_atomics: float | None = None,
+    threads_per_block: int | None = None,
+) -> None:
+    """Shared input validation for every contention-model entry point.
+
+    Each helper divides by ``num_addresses`` (and some by
+    ``threads_per_block``); all of them silently accepted inconsistent
+    combinations before this guard existed — e.g. zero active threads with
+    a huge address count passed :func:`expected_conflicts` while the same
+    arguments crashed or produced nonsense downstream.
+    """
+    _require_positive("num_addresses", num_addresses)
+    if active_threads is not None:
+        _require_non_negative("active_threads", active_threads)
+    if global_atomics is not None:
+        _require_non_negative("global_atomics", global_atomics)
+    if shared_atomics is not None:
+        _require_non_negative("shared_atomics", shared_atomics)
+    if threads_per_block is not None:
+        _require_positive("threads_per_block", threads_per_block)
+
+
 def expected_conflicts(active_threads: int, num_addresses: int) -> float:
     """Expected simultaneous writers per address under uniform hashing."""
-    if num_addresses <= 0:
-        raise ValueError("num_addresses must be positive")
-    if active_threads < 0:
-        raise ValueError("active_threads must be non-negative")
+    validate_contention(num_addresses, active_threads=active_threads)
     return active_threads / num_addresses
 
 
 def global_serialization_ms(global_atomics: float, num_addresses: int) -> float:
     """Serialisation-limited time: per-address queue at L2 latency."""
-    if num_addresses <= 0:
-        raise ValueError("num_addresses must be positive")
+    validate_contention(num_addresses, global_atomics=global_atomics)
     return (global_atomics / num_addresses) * GLOBAL_ATOMIC_SERIAL_NS * 1e-6
 
 
@@ -57,6 +89,13 @@ def scatter_atomic_time_ms(
     serialisation-limited regimes; shared atomics serialise per block, and
     blocks proceed in parallel waves across the SMs.
     """
+    validate_contention(
+        num_buckets,
+        active_threads=active_threads,
+        global_atomics=global_atomics,
+        shared_atomics=shared_atomics,
+        threads_per_block=threads_per_block,
+    )
     concurrency = max(1, min(active_threads, spec.concurrent_threads))
     throughput_ms = (
         (global_atomics * GLOBAL_ATOMIC_BASE_NS + shared_atomics * SHARED_ATOMIC_BASE_NS)

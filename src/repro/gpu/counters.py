@@ -8,7 +8,7 @@ closed-form formulas — property tests check that the two agree.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 
 @dataclass

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.curves.params import CurveParams
 from repro.gpu.occupancy import OccupancyResult, occupancy_for
 from repro.gpu.specs import (
     GpuSpec,

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.kernels.montmul_tc import accumulators_to_int, max_significant_bits
+from repro.kernels.montmul_tc import accumulators_to_int
 
 
 @dataclass(frozen=True)

@@ -30,11 +30,11 @@ class Op:
 
     name: str
     output: str
-    inputs: tuple
+    inputs: tuple[str, ...]
     kind: str  # "mul" | "sub"
     inplace: bool = False
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         op = "*" if self.kind == "mul" else "-"
         star = " (inplace)" if self.inplace else ""
         return f"{self.output} = {self.inputs[0]} {op} {self.inputs[1]}{star}"
@@ -45,11 +45,11 @@ class OpDag:
     """An operation list plus its liveness boundary conditions."""
 
     name: str
-    ops: list = field(default_factory=list)
-    live_at_start: frozenset = frozenset()
-    live_at_end: frozenset = frozenset()
+    ops: list[Op] = field(default_factory=list)
+    live_at_start: frozenset[str] = frozenset()
+    live_at_end: frozenset[str] = frozenset()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         names = [op.name for op in self.ops]
         if len(set(names)) != len(names):
             raise ValueError("duplicate op names in DAG")
@@ -61,14 +61,14 @@ class OpDag:
             )
 
     @property
-    def producers(self) -> dict:
+    def producers(self) -> dict[str, Op]:
         """Variable name -> op producing it (start-live vars have none)."""
         return {op.output: op for op in self.ops}
 
-    def dependencies(self) -> dict:
+    def dependencies(self) -> dict[str, set[str]]:
         """Op name -> set of op names that must execute first."""
         producers = self.producers
-        deps = {}
+        deps: dict[str, set[str]] = {}
         for op in self.ops:
             deps[op.name] = {
                 producers[v].name for v in op.inputs if v in producers
@@ -76,17 +76,23 @@ class OpDag:
         return deps
 
     def validate(self) -> None:
-        """Check every input is either start-live, loaded, or produced."""
-        produced = set(self.producers)
-        for op in self.ops:
-            for v in op.inputs:
-                if v not in produced and v not in self.live_at_start and not v.startswith("load:"):
-                    # loaded operands are any input never produced; accepted
-                    pass
+        """Check the written order defines every produced value before use.
 
-    def last_uses(self) -> dict:
+        Inputs that are neither produced nor start-live are loaded operands
+        and always acceptable; a produced value consumed before its
+        producing op is a malformed DAG.
+        """
+        produced_at = {op.output: idx for idx, op in enumerate(self.ops)}
+        for idx, op in enumerate(self.ops):
+            for v in op.inputs:
+                if v in produced_at and produced_at[v] >= idx:
+                    raise ValueError(
+                        f"op {op.name} consumes {v!r} before it is produced"
+                    )
+
+    def last_uses(self) -> dict[str, float]:
         """Variable -> index of its last consuming op (end-live vars -> inf)."""
-        last: dict = {}
+        last: dict[str, float] = {}
         for idx, op in enumerate(self.ops):
             for v in op.inputs:
                 last[v] = idx
@@ -105,9 +111,9 @@ def entry_live(dag: OpDag) -> int:
     return sum(1 for v in dag.live_at_start if v in uses or v in dag.live_at_end)
 
 
-def _future_uses(ops: list, live_at_end: frozenset) -> dict:
+def _future_uses(ops: list[Op], live_at_end: frozenset[str]) -> dict[str, list[float]]:
     """Variable -> sorted list of op indices that consume it."""
-    uses: dict = {}
+    uses: dict[str, list[float]] = {}
     for idx, op in enumerate(ops):
         for v in op.inputs:
             uses.setdefault(v, []).append(idx)
@@ -116,7 +122,7 @@ def _future_uses(ops: list, live_at_end: frozenset) -> dict:
     return uses
 
 
-def peak_live(dag: OpDag, order: list | None = None) -> int:
+def peak_live(dag: OpDag, order: list[str] | None = None) -> int:
     """Peak number of concurrently live big integers for an execution order.
 
     ``order`` is a list of op names; defaults to the DAG's written order.

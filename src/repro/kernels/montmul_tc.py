@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.fields.limbs import WORD_BITS, from_limbs
+from repro.fields.limbs import WORD_BITS
 from repro.fields.montgomery import MontgomeryContext
 
 

@@ -25,7 +25,6 @@ from repro.curves.point import PACC_MODMULS, PADD_MODMULS, PDBL_MODMULS
 from repro.fields.limbs import OpCounter, to_limbs
 from repro.fields.montgomery import MontgomeryContext
 from repro.kernels.dag import (
-    OpDag,
     build_pacc_dag,
     build_padd_dag,
     build_pdbl_dag,

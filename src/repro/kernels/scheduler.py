@@ -25,7 +25,7 @@ from repro.kernels.dag import OpDag, peak_live
 class ScheduleResult:
     """Outcome of the exhaustive schedule search."""
 
-    order: tuple
+    order: tuple[str, ...]
     peak: int
     states_visited: int
 
@@ -52,7 +52,7 @@ def find_optimal_schedule(dag: OpDag) -> ScheduleResult:
         dep_masks[op_index[name]] = mask
 
     # Consumers per variable, as op bitmasks, for liveness transitions.
-    consumers: dict = {}
+    consumers: dict[str, int] = {}
     for i, op in enumerate(ops):
         for v in op.inputs:
             consumers[v] = consumers.get(v, 0) | (1 << i)
@@ -86,7 +86,7 @@ def find_optimal_schedule(dag: OpDag) -> ScheduleResult:
         return live
 
     @lru_cache(maxsize=None)
-    def best(executed: int) -> tuple:
+    def best(executed: int) -> tuple[int, tuple[str, ...]]:
         nonlocal states
         states += 1
         if executed == full_mask:

@@ -27,14 +27,15 @@ class SpillPlan:
     transfers: int
     peak_shm_bigints: int
     peak_registers: int
-    moves: list = field(default_factory=list)  # (op_name, "spill"/"reload", var)
+    #: (op name, "spill" | "reload", variable) in execution order
+    moves: list[tuple[str, str, str]] = field(default_factory=list)
 
     @property
     def feasible(self) -> bool:
         return self.peak_registers <= self.register_budget
 
 
-def plan_spills(dag: OpDag, order: list, register_budget: int) -> SpillPlan:
+def plan_spills(dag: OpDag, order: list[str], register_budget: int) -> SpillPlan:
     """Plan explicit spills so at most ``register_budget`` big integers sit in
     registers at any point during ``order``.
 
@@ -48,7 +49,7 @@ def plan_spills(dag: OpDag, order: list, register_budget: int) -> SpillPlan:
     producers = {op.output for op in ops}
 
     # next-use table: for each var, the op indices that consume it
-    uses: dict = {}
+    uses: dict[str, list[float]] = {}
     for idx, op in enumerate(ops):
         for v in op.inputs:
             uses.setdefault(v, []).append(idx)
@@ -62,8 +63,8 @@ def plan_spills(dag: OpDag, order: list, register_budget: int) -> SpillPlan:
         v for v in dag.live_at_start
         if uses.get(v)  # drop start values never consumed
     }
-    shm: set = set()
-    moves = []
+    shm: set[str] = set()
+    moves: list[tuple[str, str, str]] = []
     transfers = 0
     peak_shm = 0
     peak_regs = len(regs)
@@ -125,7 +126,7 @@ def plan_spills(dag: OpDag, order: list, register_budget: int) -> SpillPlan:
 
 def plan_spills_optimal(
     dag: OpDag,
-    order: list,
+    order: list[str],
     register_budget: int,
     state_limit: int = 200_000,
 ) -> SpillPlan:
@@ -141,7 +142,7 @@ def plan_spills_optimal(
     ops = [name_to_op[n] for n in order]
     producers = {op.output for op in ops}
 
-    uses: dict = {}
+    uses: dict[str, list[int]] = {}
     for idx, op in enumerate(ops):
         for v in op.inputs:
             uses.setdefault(v, []).append(idx)
@@ -153,7 +154,7 @@ def plan_spills_optimal(
 
     start_regs = frozenset(v for v in dag.live_at_start if uses.get(v))
     states_seen = 0
-    memo: dict = {}
+    memo: dict[tuple[int, frozenset[str], frozenset[str]], int | None] = {}
 
     def search(idx: int, regs: frozenset, shm: frozenset) -> int | None:
         """Minimal future transfers, or None if infeasible."""
@@ -247,7 +248,7 @@ def schedule_and_spill(
         for d in dd:
             dep_masks[op_index[name]] |= 1 << op_index[d]
 
-    consumers: dict = {}
+    consumers: dict[str, int] = {}
     for i, op in enumerate(ops):
         for v in op.inputs:
             consumers.setdefault(v, 0)
@@ -262,7 +263,7 @@ def schedule_and_spill(
     start_regs = frozenset(
         v for v in dag.live_at_start if v in consumers or v in dag.live_at_end
     )
-    memo: dict = {}
+    memo: dict[tuple[int, frozenset[str], frozenset[str]], int | None] = {}
     states = 0
 
     def search(executed: int, regs: frozenset, shm: frozenset) -> int | None:

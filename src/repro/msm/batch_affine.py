@@ -15,10 +15,10 @@ the repository an executable reference for the baselines' arithmetic style.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.curves.params import CurveParams
-from repro.curves.point import AffinePoint, affine_neg
+from repro.curves.point import AffinePoint
 from repro.curves.scalar import num_windows, unsigned_windows
 from repro.msm.pippenger import PippengerStats, bucket_reduce, window_reduce
 from repro.curves.point import XyzzPoint, to_affine

@@ -15,7 +15,7 @@ inputs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.curves.params import CurveParams
 from repro.curves.point import (

@@ -20,7 +20,6 @@ from repro.curves.point import (
     pdbl,
     to_affine,
     xyzz_acc,
-    xyzz_add,
 )
 from repro.curves.sampling import batch_to_affine
 from repro.curves.scalar import num_windows, signed_windows, unsigned_windows

@@ -1,0 +1,74 @@
+"""Independent static analysis of the repro's kernel-level artifacts.
+
+Everything the paper claims about the kernels is a statically checkable
+property of a schedule, a spill plan, or a memory trace; this package
+checks those properties without re-running (or trusting) the code that
+produced them.  Three checkers:
+
+* :mod:`repro.verify.schedule` — execution orders: topological validity,
+  single assignment, in-place aliasing, an independent register-liveness
+  recomputation cross-checked against claimed peaks, modmul budgets;
+* :mod:`repro.verify.spillcheck` — spill plans: symbolic replay rejecting
+  use-before-reload, double-spills, budget and shared-memory overflows;
+* :mod:`repro.verify.races` — scatter/bucket-sum memory traces: a
+  happens-before graph over blocks, barriers, warps, and atomics, flagging
+  unsynchronised same-address conflicts.
+
+``python -m repro.verify`` runs all of it over every registered kernel and
+baseline; :mod:`repro.verify.fixtures` holds the injected faults that prove
+each checker can actually fail.
+"""
+
+from repro.verify.driver import (
+    verify_all,
+    verify_bucket_sum,
+    verify_kernel_schedules,
+    verify_scatter_config,
+    verify_spill_plans,
+)
+from repro.verify.fixtures import FIXTURES, run_fixture
+from repro.verify.races import (
+    RaceCheckResult,
+    detect_races,
+    trace_bucket_sum,
+    trace_hierarchical_scatter,
+    trace_naive_scatter,
+)
+from repro.verify.report import VerificationReport, Violation
+from repro.verify.schedule import (
+    LiveInterval,
+    ScheduleCheckResult,
+    live_intervals,
+    verify_schedule,
+)
+from repro.verify.spillcheck import (
+    SpillCheckResult,
+    max_spill_threads,
+    spill_bytes_per_thread,
+    verify_spill_plan,
+)
+
+__all__ = [
+    "FIXTURES",
+    "LiveInterval",
+    "RaceCheckResult",
+    "ScheduleCheckResult",
+    "SpillCheckResult",
+    "VerificationReport",
+    "Violation",
+    "detect_races",
+    "live_intervals",
+    "max_spill_threads",
+    "run_fixture",
+    "spill_bytes_per_thread",
+    "trace_bucket_sum",
+    "trace_hierarchical_scatter",
+    "trace_naive_scatter",
+    "verify_all",
+    "verify_bucket_sum",
+    "verify_kernel_schedules",
+    "verify_scatter_config",
+    "verify_schedule",
+    "verify_spill_plan",
+    "verify_spill_plans",
+]

@@ -1,0 +1,65 @@
+"""``python -m repro.verify`` — the static-analysis gate for CI.
+
+Exit status 0 when every registered kernel and baseline passes all three
+checkers (schedule, spill, race); non-zero with pointed diagnostics — the
+offending op or address — otherwise.  ``--inject-fault`` runs one of the
+known-broken fixtures and *inverts* nothing: the fixture's violations are
+printed and the exit status is non-zero, which is how the test suite (and
+a sceptical operator) confirms the checkers actually bite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.verify.driver import verify_all
+from repro.verify.fixtures import FIXTURES, run_fixture
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description=(
+            "Statically verify kernel schedules, spill plans, and scatter "
+            "synchronisation for every registered kernel and baseline."
+        ),
+    )
+    parser.add_argument(
+        "--inject-fault",
+        choices=sorted(FIXTURES),
+        metavar="FIXTURE",
+        help=(
+            "run one injected-fault fixture instead of the full pass "
+            f"(choices: {', '.join(sorted(FIXTURES))}); exits non-zero "
+            "when the fault is caught, exit 0 would mean a blind checker"
+        ),
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="list every passing check, not just violations",
+    )
+    args = parser.parse_args(argv)
+
+    if args.inject_fault:
+        report = run_fixture(args.inject_fault)
+        print(f"injected fault {args.inject_fault!r}:")
+        print(report.render(verbose=args.verbose))
+        if report.ok:
+            print(
+                "ERROR: the checker did not flag the injected fault — "
+                "the verifier is blind",
+                file=sys.stderr,
+            )
+            return 2
+        return 1
+
+    report = verify_all()
+    print(report.render(verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

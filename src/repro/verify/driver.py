@@ -1,0 +1,189 @@
+"""The verification driver: every registered kernel and baseline, checked.
+
+``verify_all`` is what CI runs (via ``python -m repro.verify``) and what
+the test suite imports.  It re-derives nothing from the code under test
+beyond the *artifacts* the producing layers hand it — DAGs, schedules,
+claimed peaks, spill plans, memory traces — and cross-examines each with
+the independent checkers in this package:
+
+* every kernel DAG's written and optimal schedules (claims from
+  :mod:`repro.kernels.scheduler`), including modmul budgets;
+* every explicit-spill plan at the paper's budgets, for every supported
+  curve's limb count against the GPU shared-memory limits;
+* every scatter strategy named by a registered baseline (plus DistMSM's
+  own hierarchical default), race-checked on a deterministic workload;
+* the parallel bucket-sum's trace.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.registry import all_baselines
+from repro.core.config import DistMsmConfig
+from repro.curves.params import curve_by_name
+from repro.curves.point import PACC_MODMULS, PADD_MODMULS, PDBL_MODMULS
+from repro.curves.sampling import sample_points
+from repro.curves.toy import toy_curve
+from repro.kernels.dag import (
+    OpDag,
+    build_pacc_dag,
+    build_padd_dag,
+    build_pdbl_dag,
+    entry_live,
+)
+from repro.kernels.padd_kernel import SPILL_REDUCTION
+from repro.kernels.scheduler import find_optimal_schedule, written_order_peak
+from repro.kernels.spill import plan_spills
+from repro.verify.races import (
+    detect_races,
+    trace_bucket_sum,
+    trace_hierarchical_scatter,
+    trace_naive_scatter,
+)
+from repro.verify.report import VerificationReport
+from repro.verify.schedule import verify_schedule
+from repro.verify.spillcheck import verify_spill_plan
+
+#: kernel name -> (DAG builder, modular-multiplication budget)
+KERNEL_BUDGETS = {
+    "PADD": (build_padd_dag, PADD_MODMULS),
+    "PACC": (build_pacc_dag, PACC_MODMULS),
+    "PDBL": (build_pdbl_dag, PDBL_MODMULS),
+}
+
+#: the deterministic scatter workload the race checks replay
+_SCATTER_POINTS = 192
+_SCATTER_BUCKETS = 8
+
+
+def _scatter_digits() -> list[int]:
+    """A fixed pseudo-random digit stream covering every bucket."""
+    state, digits = 0x9E3779B9, []
+    for _ in range(_SCATTER_POINTS):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        digits.append(state % _SCATTER_BUCKETS)
+    return digits
+
+
+def verify_kernel_schedules(report: VerificationReport | None = None) -> VerificationReport:
+    """Check written and optimal schedules of every kernel DAG."""
+    report = report or VerificationReport()
+    for name, (builder, budget) in KERNEL_BUDGETS.items():
+        dag: OpDag = builder()
+        written = verify_schedule(
+            dag,
+            claimed_peak=written_order_peak(dag),
+            max_modmuls=budget,
+            subject=f"{name} (written order)",
+        )
+        report.extend(written.violations)
+        report.add_check(
+            f"{name} written order: peak {written.peak}, "
+            f"{written.modmuls} modmuls"
+        )
+        optimal = find_optimal_schedule(dag)
+        checked = verify_schedule(
+            dag,
+            order=list(optimal.order),
+            claimed_peak=optimal.peak,
+            max_modmuls=budget,
+            subject=f"{name} (optimal order)",
+        )
+        report.extend(checked.violations)
+        report.add_check(
+            f"{name} optimal order: peak {checked.peak} "
+            f"(scheduler claims {optimal.peak})"
+        )
+    return report
+
+
+def verify_spill_plans(
+    curves: tuple[str, ...],
+    report: VerificationReport | None = None,
+) -> VerificationReport:
+    """Replay the explicit-spill plans at the paper's budgets per curve."""
+    report = report or VerificationReport()
+    for name, (builder, _) in KERNEL_BUDGETS.items():
+        dag = builder()
+        optimal = find_optimal_schedule(dag)
+        budget = max(optimal.peak - SPILL_REDUCTION, entry_live(dag))
+        if budget >= optimal.peak:
+            report.add_check(f"{name}: no spilling possible below entry set")
+            continue
+        order = list(optimal.order)
+        plan = plan_spills(dag, order, budget)
+        for curve_name in curves:
+            curve = curve_by_name(curve_name)
+            checked = verify_spill_plan(
+                dag,
+                order,
+                plan,
+                num_limbs=curve.num_limbs,
+                subject=f"{name} spill@{budget} on {curve_name}",
+            )
+            report.extend(checked.violations)
+            report.add_check(
+                f"{name} spill@{budget} on {curve_name}: "
+                f"{checked.transfers} transfers, "
+                f"{checked.peak_shm_bigints} in shared memory"
+            )
+    return report
+
+
+def verify_scatter_config(
+    subject: str,
+    config: DistMsmConfig,
+    report: VerificationReport | None = None,
+) -> VerificationReport:
+    """Race-check the scatter strategy one configuration actually runs."""
+    report = report or VerificationReport()
+    digits = _scatter_digits()
+    if config.scatter == "naive":
+        trace = trace_naive_scatter(digits, _SCATTER_BUCKETS)
+    else:
+        # keep the traced workload multi-block: small blocks, few points each
+        small = DistMsmConfig(
+            scatter="hierarchical", threads_per_block=32, points_per_thread=2
+        )
+        trace = trace_hierarchical_scatter(digits, _SCATTER_BUCKETS, small)
+    checked = detect_races(trace, subject=f"{subject} ({config.scatter} scatter)")
+    report.extend(checked.violations)
+    report.add_check(
+        f"{subject}: {config.scatter} scatter race-free "
+        f"({checked.events} accesses, {checked.locations} locations)"
+    )
+    return report
+
+
+def verify_bucket_sum(report: VerificationReport | None = None) -> VerificationReport:
+    """Race-check the parallel bucket-sum with its tree reduction."""
+    report = report or VerificationReport()
+    curve = toy_curve()
+    points = sample_points(curve, 16, seed=11)
+    buckets = [[0, 1, 2, 3, 4, 5], [6, 7], [], [8, 9, 10, 11, 12, 13, 14, 15]]
+    for n_threads in (2, 4, 8):
+        trace = trace_bucket_sum(buckets, points, curve, n_threads)
+        checked = detect_races(trace, subject=f"bucket-sum x{n_threads}")
+        report.extend(checked.violations)
+        report.add_check(
+            f"bucket-sum with {n_threads} threads/bucket race-free "
+            f"({checked.events} accesses)"
+        )
+    return report
+
+
+def verify_all() -> VerificationReport:
+    """Verify every registered kernel and baseline configuration."""
+    report = VerificationReport()
+    verify_kernel_schedules(report)
+
+    distmsm_curves = ("BN254", "BLS12-377", "BLS12-381", "MNT4753")
+    verify_spill_plans(distmsm_curves, report)
+
+    verify_scatter_config("DistMSM", DistMsmConfig(), report)
+    for baseline in all_baselines():
+        verify_scatter_config(baseline.name, baseline.config, report)
+        if baseline.config.kernel_opts.explicit_spill:
+            verify_spill_plans(baseline.curves, report)
+
+    verify_bucket_sum(report)
+    return report

@@ -1,0 +1,94 @@
+"""Injected-fault fixtures: artifacts each checker must reject.
+
+A verifier that has never seen a violation is itself unverified.  Each
+fixture here manufactures one specific, realistic fault — the kind a
+regression in the producing layer would introduce — and the test suite
+(and ``python -m repro.verify --inject-fault``) asserts the matching
+checker rejects it with a diagnostic naming the offending op or address.
+
+* ``register-peak`` — a schedule whose producer under-reports its register
+  peak (a broken scheduler DP would do exactly this);
+* ``use-before-reload`` — a spill plan missing one reload, so an op
+  consumes a value that is still in shared memory (a broken Belady victim
+  policy or an off-by-one in the reload placement);
+* ``scatter-race`` — the naive scatter with its bucket-counter atomic
+  replaced by a plain read-modify-write (a missed ``atomicAdd`` in a new
+  scatter variant).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.dag import build_pacc_dag
+from repro.kernels.scheduler import find_optimal_schedule
+from repro.kernels.spill import SpillPlan, plan_spills
+from repro.verify.races import RaceCheckResult, detect_races, trace_naive_scatter
+from repro.verify.report import VerificationReport
+from repro.verify.schedule import ScheduleCheckResult, verify_schedule
+from repro.verify.spillcheck import SpillCheckResult, verify_spill_plan
+
+
+def broken_schedule_check() -> ScheduleCheckResult:
+    """A schedule claiming a register peak below what it actually reaches.
+
+    The PACC written order peaks at 9 live big integers; a producer
+    claiming the optimal order's 7 for it must be caught.
+    """
+    dag = build_pacc_dag()
+    return verify_schedule(
+        dag,
+        order=None,  # the written order, which peaks at 9
+        claimed_peak=7,
+        subject="PACC (written order, claimed peak 7)",
+    )
+
+
+def broken_spill_check() -> SpillCheckResult:
+    """A spill plan with one reload deleted: use before reload.
+
+    Plans PACC at the paper's budget of 5, then drops the first reload so
+    a later op consumes the still-spilled value.
+    """
+    dag = build_pacc_dag()
+    order = list(find_optimal_schedule(dag).order)
+    plan = plan_spills(dag, order, register_budget=5)
+    moves = list(plan.moves)
+    victim = next(i for i, (_, kind, _v) in enumerate(moves) if kind == "reload")
+    del moves[victim]
+    broken = SpillPlan(
+        register_budget=plan.register_budget,
+        transfers=plan.transfers - 1,
+        peak_shm_bigints=plan.peak_shm_bigints,
+        peak_registers=plan.peak_registers,
+        moves=moves,
+    )
+    return verify_spill_plan(
+        dag, order, broken, subject="PACC spill@5 (reload deleted)"
+    )
+
+
+def broken_scatter_check() -> RaceCheckResult:
+    """The naive scatter with plain RMWs on the shared bucket counters."""
+    digits = [1 + (i % 3) for i in range(96)]
+    trace = trace_naive_scatter(digits, num_buckets=4, use_atomics=False)
+    return detect_races(trace, subject="naive scatter without atomics")
+
+
+#: fixture name -> callable returning a checker result that must FAIL
+FIXTURES = {
+    "register-peak": broken_schedule_check,
+    "use-before-reload": broken_spill_check,
+    "scatter-race": broken_scatter_check,
+}
+
+
+def run_fixture(name: str) -> VerificationReport:
+    """Run one injected-fault fixture as a report (violations expected)."""
+    if name not in FIXTURES:
+        raise KeyError(
+            f"unknown fixture {name!r}; choose from {sorted(FIXTURES)}"
+        )
+    checked = FIXTURES[name]()
+    report = VerificationReport()
+    report.add_check(f"fixture {name}: ran its checker")
+    report.extend(checked.violations)
+    return report

@@ -1,0 +1,85 @@
+"""Violation records and report aggregation for the static verifiers.
+
+Every checker in :mod:`repro.verify` reports problems as
+:class:`Violation` values rather than raising: a verification run collects
+*all* violations across all registered kernels and baselines, prints each
+with enough context to act on (which checker, which subject, which op or
+address), and the CLI maps a non-empty report to a non-zero exit status.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant found by a checker.
+
+    Attributes
+    ----------
+    checker:
+        ``"schedule"`` | ``"spill"`` | ``"race"`` — which pass found it.
+    subject:
+        What was being verified (a DAG/schedule name, a baseline name, a
+        scatter configuration).
+    message:
+        Human-readable description of the broken invariant.
+    op:
+        The operation name at fault, when the checker can pin one down
+        (schedule and spill violations).
+    address:
+        The memory location at fault, when one exists (race violations and
+        shared-memory overflows), e.g. ``"global:bucket_sizes[3]"``.
+    """
+
+    checker: str
+    subject: str
+    message: str
+    op: str | None = None
+    address: str | None = None
+
+    def __str__(self) -> str:
+        where = []
+        if self.op is not None:
+            where.append(f"op {self.op}")
+        if self.address is not None:
+            where.append(f"address {self.address}")
+        loc = f" ({', '.join(where)})" if where else ""
+        return f"[{self.checker}] {self.subject}: {self.message}{loc}"
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one verification run: every check run, every violation."""
+
+    checks: list[str] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add_check(self, description: str) -> None:
+        self.checks.append(description)
+
+    def extend(self, violations: list[Violation]) -> None:
+        self.violations.extend(violations)
+
+    def merge(self, other: "VerificationReport") -> "VerificationReport":
+        self.checks.extend(other.checks)
+        self.violations.extend(other.violations)
+        return self
+
+    def render(self, verbose: bool = False) -> str:
+        lines = []
+        if verbose or self.ok:
+            for check in self.checks:
+                lines.append(f"  ok: {check}")
+        for violation in self.violations:
+            lines.append(f"  VIOLATION {violation}")
+        status = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"{status}: {len(self.checks)} checks, {len(self.violations)} violations"
+        )
+        return "\n".join(lines)

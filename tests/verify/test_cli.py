@@ -1,0 +1,68 @@
+"""``python -m repro.verify`` — exit codes and diagnostics, end to end."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.verify", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+        timeout=300,
+    )
+
+
+class TestCleanPass:
+    def test_exit_zero_on_all_registered_configs(self):
+        proc = run_cli()
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "PASS" in proc.stdout
+        assert "0 violations" in proc.stdout
+
+    def test_verbose_lists_checks(self):
+        proc = run_cli("-v")
+        assert proc.returncode == 0
+        # the kernel schedules, spill plans, and scatter checks all appear
+        assert "PADD" in proc.stdout
+        assert "spill@" in proc.stdout
+        assert "scatter" in proc.stdout
+        assert "bucket-sum" in proc.stdout
+
+
+class TestInjectedFaults:
+    @pytest.mark.parametrize(
+        "fixture", ["register-peak", "use-before-reload", "scatter-race"]
+    )
+    def test_fault_is_caught_with_nonzero_exit(self, fixture):
+        proc = run_cli("--inject-fault", fixture)
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "FAIL" in proc.stdout
+
+    def test_register_peak_diagnostic_names_the_op(self):
+        proc = run_cli("--inject-fault", "register-peak")
+        assert "claimed peak 7" in proc.stdout
+        assert "op " in proc.stdout
+
+    def test_use_before_reload_diagnostic_names_the_address(self):
+        proc = run_cli("--inject-fault", "use-before-reload")
+        assert "shared:spill[" in proc.stdout
+
+    def test_scatter_race_diagnostic_names_the_address(self):
+        proc = run_cli("--inject-fault", "scatter-race")
+        assert "global:bucket_sizes[" in proc.stdout
+
+    def test_unknown_fixture_is_a_usage_error(self):
+        proc = run_cli("--inject-fault", "no-such-fixture")
+        assert proc.returncode == 2
+        assert "invalid choice" in proc.stderr
