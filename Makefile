@@ -10,9 +10,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: ci lint typecheck verify test
+.PHONY: ci lint typecheck verify bench-smoke test
 
-ci: lint typecheck verify test
+ci: lint typecheck verify bench-smoke test
 	@echo "ci: all gates passed"
 
 lint:
@@ -34,6 +34,10 @@ typecheck:
 verify:
 	@echo "== python -m repro.verify"
 	@$(PYTHON) -m repro.verify
+
+bench-smoke:
+	@echo "== pipeline-overlap smoke benchmark"
+	@$(PYTHON) benchmarks/bench_pipeline_overlap.py --smoke
 
 test:
 	@echo "== pytest (tier 1)"

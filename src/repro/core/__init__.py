@@ -7,18 +7,33 @@
 * :mod:`repro.core.bucket_sum` — multi-thread-per-bucket accumulation.
 * :mod:`repro.core.bucket_reduce` — CPU-offloaded bucket reduction.
 * :mod:`repro.core.planner` — window / bucket-slice distribution over GPUs.
-* :mod:`repro.core.distmsm` — the engine tying it all together.
+* :mod:`repro.core.backends` — the functional/analytic execution backends.
+* :mod:`repro.core.msm_timeline` — phase timings and their emission onto
+  the event-driven engine (:mod:`repro.engine`).
+* :mod:`repro.core.distmsm` — the engine tying it all together: one
+  orchestration body, parameterised by backend.
 """
 
+from repro.core.backends import AnalyticBackend, FunctionalBackend
 from repro.core.config import DistMsmConfig
 from repro.core.distmsm import DistMsm, DistMsmResult
+from repro.core.msm_timeline import (
+    MsmTimingBreakdown,
+    PhaseTimes,
+    build_msm_timeline,
+)
 from repro.core.multi_msm import proof_msm_schedule, schedule_pipeline
 from repro.core.workload import optimal_window_size, per_thread_workload
 
 __all__ = [
+    "AnalyticBackend",
     "DistMsmConfig",
     "DistMsm",
     "DistMsmResult",
+    "FunctionalBackend",
+    "MsmTimingBreakdown",
+    "PhaseTimes",
+    "build_msm_timeline",
     "optimal_window_size",
     "per_thread_workload",
     "proof_msm_schedule",

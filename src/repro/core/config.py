@@ -55,6 +55,8 @@ class DistMsmConfig:
     #: toolchain the kernels were written in; HIP pays the platform
     #: penalty on AMD GPUs (paper Fig. 9) — DistMSM itself is HIP-based
     api: str = "hip"
+    #: per-node host coordination overhead added to every MSM (ms)
+    node_sync_ms: float = 0.2
 
     def __post_init__(self):
         if self.scatter not in ("hierarchical", "naive"):
@@ -67,3 +69,5 @@ class DistMsmConfig:
             raise ValueError("efficiency must be in (0, 1]")
         if self.gpu_reduce not in ("scan", "simd"):
             raise ValueError(f"unknown gpu_reduce mode {self.gpu_reduce!r}")
+        if self.node_sync_ms < 0:
+            raise ValueError(f"node_sync_ms must be >= 0, got {self.node_sync_ms}")

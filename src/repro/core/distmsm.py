@@ -1,47 +1,48 @@
-"""The DistMSM engine: plan -> simulate -> (result, counters, time).
+"""The DistMSM engine: plan -> orchestrate(backend) -> (result, timeline).
 
-Two entry points:
+Two entry points, ONE orchestration body:
 
-* :meth:`DistMsm.execute` — the *functional* path.  Runs the full pipeline
-  (scatter, bucket-sum, reduce) against the simulated GPUs, producing a
-  bit-exact MSM result, measured event counts, and modelled phase times.
-  Used for correctness tests and small inputs.
-* :meth:`DistMsm.estimate` — the *analytic* path.  Same phase structure and
-  the same timing model, but event counts come from closed-form expectation
-  formulas, so paper-scale inputs (N = 2^28) evaluate instantly.
+* :meth:`DistMsm.execute` — the *functional* path.  Runs
+  :meth:`DistMsm._orchestrate` with a
+  :class:`~repro.core.backends.FunctionalBackend`: the full pipeline
+  (scatter, bucket-sum, reduce) executes against the simulated GPUs,
+  producing a bit-exact MSM result and measured event counts.
+* :meth:`DistMsm.estimate` — the *analytic* path.  Same orchestration with
+  an :class:`~repro.core.backends.AnalyticBackend`: event counts come from
+  closed-form expectation formulas, so paper-scale inputs (N = 2^28)
+  evaluate instantly.
 
-Both paths share `_phase_times`, so the timing model is identical; property
-tests check functional and analytic counts agree on common inputs.
+The shared body also emits the work onto the event-driven execution engine
+(:mod:`repro.engine`): every result carries a
+:class:`~repro.engine.timeline.Timeline` whose legacy-mode makespan equals
+``PhaseTimes.total``, plus the :class:`~repro.core.msm_timeline.MsmTimingBreakdown`
+from which overlapped/serial schedules can be rebuilt.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.core.bucket_reduce import (
-    cpu_bucket_reduce,
-    cpu_bucket_reduce_counts,
-    cpu_window_reduce,
-    gpu_bucket_reduce_counts,
-)
-from repro.core.bucket_sum import (
-    bucket_sum,
-    bucket_sum_counts,
-    threads_per_bucket,
-)
+from repro.core.backends import AnalyticBackend, Backend, FunctionalBackend
+from repro.core.bucket_reduce import gpu_bucket_reduce_counts
+from repro.core.bucket_sum import bucket_sum_counts, threads_per_bucket
 from repro.core.config import DistMsmConfig
+from repro.core.msm_timeline import (
+    GpuPhaseMs,
+    MsmTimingBreakdown,
+    PhaseTimes,
+    build_msm_timeline,
+)
 from repro.core.planner import Plan, make_plan
 from repro.core.scatter import (
-    hierarchical_scatter,
     hierarchical_scatter_counts,
-    naive_scatter,
     naive_scatter_counts,
     scatter_time_ms,
 )
 from repro.curves.params import CurveParams
-from repro.curves.point import AffinePoint, XyzzPoint, to_affine, xyzz_add
+from repro.curves.point import AffinePoint
 from repro.curves.scalar import num_windows as window_count
-from repro.curves.scalar import signed_windows, unsigned_windows
+from repro.engine.timeline import Timeline, simulate
 from repro.gpu.cluster import MultiGpuSystem
 from repro.gpu.counters import EventCounters
 from repro.gpu.timing import (
@@ -49,46 +50,15 @@ from repro.gpu.timing import (
     ec_ops_time_ms,
     host_transfer_time_ms,
     launch_overhead_ms,
+    pipelined_cpu_visible_ms,
 )
 from repro.kernels.padd_kernel import KernelDescriptor
-from repro.msm.precompute import precompute_tables
 
-#: per-node host coordination overhead added to every MSM (ms)
-NODE_SYNC_MS = 0.2
-
-
-@dataclass
-class PhaseTimes:
-    """Modelled wall time per pipeline phase, milliseconds."""
-
-    scatter: float = 0.0
-    bucket_sum: float = 0.0
-    bucket_reduce: float = 0.0
-    window_reduce: float = 0.0
-    transfer: float = 0.0
-    launch: float = 0.0
-
-    @property
-    def total(self) -> float:
-        return (
-            self.scatter
-            + self.bucket_sum
-            + self.bucket_reduce
-            + self.window_reduce
-            + self.transfer
-            + self.launch
-        )
-
-    def as_dict(self) -> dict:
-        return {
-            "scatter": self.scatter,
-            "bucket_sum": self.bucket_sum,
-            "bucket_reduce": self.bucket_reduce,
-            "window_reduce": self.window_reduce,
-            "transfer": self.transfer,
-            "launch": self.launch,
-            "total": self.total,
-        }
+__all__ = [
+    "DistMsm",
+    "DistMsmResult",
+    "PhaseTimes",  # re-exported; canonical home is repro.core.msm_timeline
+]
 
 
 @dataclass
@@ -102,6 +72,12 @@ class DistMsmResult:
     window_size: int
     plan: Plan
     per_gpu_counters: list = field(default_factory=list)
+    #: the event-driven schedule of this MSM (legacy barrier mode: its
+    #: makespan equals ``times.total``)
+    timeline: Timeline | None = None
+    #: the timing decomposition the timeline was built from; feed it to
+    #: :func:`repro.core.msm_timeline.build_msm_timeline` for other modes
+    breakdown: MsmTimingBreakdown | None = None
 
 
 @dataclass
@@ -167,7 +143,7 @@ class DistMsm:
     def _plan(self, n_win: int) -> Plan:
         return make_plan(n_win, self.system.num_gpus, self.config.multi_gpu)
 
-    # -- functional execution -------------------------------------------------
+    # -- entry points -------------------------------------------------------
 
     def execute(
         self,
@@ -182,98 +158,83 @@ class DistMsm:
             )
         n = len(scalars)
         if n == 0:
-            empty = PhaseTimes()
             return DistMsmResult(
-                AffinePoint.identity(), 0.0, empty, EventCounters(), 0,
+                AffinePoint.identity(), 0.0, PhaseTimes(), EventCounters(), 0,
                 make_plan(1, self.system.num_gpus, self.config.multi_gpu),
+                timeline=simulate([]),
             )
         s = self.window_size_for(curve, n)
+        backend = FunctionalBackend(self, scalars, points, curve)
+        return self._orchestrate(backend, curve, n, s)
+
+    def estimate(self, curve: CurveParams, n: int) -> DistMsmResult:
+        """Model the execution time for an ``n``-point MSM on this system."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        s = self.window_size_for(curve, n)
+        backend = AnalyticBackend(self, curve, n)
+        return self._orchestrate(backend, curve, n, s)
+
+    # -- the one orchestration body -----------------------------------------
+
+    def _orchestrate(
+        self, backend: Backend, curve: CurveParams, n: int, s: int
+    ) -> DistMsmResult:
+        """Plan, scatter/sum per assignment, reduce per window, fold.
+
+        Every step delegates its *work* to the backend (functional: real
+        points and measured counters; analytic: closed-form counts) while
+        this body owns the *structure*: the plan, the per-window combine
+        and reduce placement, the timing model, and the timeline emission.
+        """
+        config = self.config
         n_win = window_count(curve.scalar_bits, s)
-        signed = self.config.signed_digits
-
-        if getattr(self.config, "precompute", False):
-            return self._execute_precompute(scalars, points, curve, s, n_win)
-
-        if signed:
-            digit_rows = [signed_windows(k, s, n_win) for k in scalars]
-            n_win += 1
-        else:
-            digit_rows = [unsigned_windows(k, s, n_win) for k in scalars]
+        total_windows = n_win + (1 if config.signed_digits else 0)
         buckets_total = self.num_buckets(s)
-        plan = self._plan(n_win)
-        self.system.reset_counters()
+        precompute = bool(getattr(config, "precompute", False))
 
-        window_partials: dict = {w: [] for w in range(n_win)}
+        if precompute:
+            # all windows collapse into one flattened (digit, point) stream
+            backend.prepare_precompute(s, n_win, total_windows)
+            plan = make_plan(
+                1,
+                self.system.num_gpus,
+                "ndim" if config.multi_gpu == "ndim" else "bucket-split",
+            )
+        else:
+            backend.prepare(s, n_win, total_windows)
+            plan = self._plan(total_windows)
+        if backend.functional:
+            self.system.reset_counters()
+
         per_gpu_work = [_GpuWork() for _ in range(self.system.num_gpus)]
-
+        window_partials: dict = {w: [] for w in range(plan.num_windows)}
         for assignment in plan.assignments:
-            gpu = self.system.gpus[assignment.gpu]
             work = per_gpu_work[assignment.gpu]
-            w = assignment.window
-            p_lo = int(round(assignment.point_lo * n))
-            p_hi = int(round(assignment.point_hi * n))
-            b_lo = int(round(assignment.bucket_lo * buckets_total))
-            b_hi = int(round(assignment.bucket_hi * buckets_total))
+            partial = backend.run_assignment(work, assignment, buckets_total)
+            window_partials[assignment.window].append((assignment, partial))
 
-            digits = []
-            negate = [False] * n
-            for pid in range(p_lo, p_hi):
-                d = digit_rows[pid][w]
-                if signed and d < 0:
-                    negate[pid] = True
-                    d = -d
-                digits.append(d if b_lo <= d < b_hi else 0)
-
-            if self.config.scatter == "hierarchical":
-                scat = hierarchical_scatter(gpu, digits, buckets_total, self.config)
-            else:
-                scat = naive_scatter(gpu, digits, buckets_total)
-            work.scatter.merge(scat.counters)
-
-            assigned_buckets = max(1, b_hi - b_lo)
-            n_threads = threads_per_bucket(
-                assigned_buckets,
-                self.system.concurrent_threads_per_gpu,
-                self.config.threads_per_bucket_min,
-            )
-            # shift point ids back to global index space
-            buckets_global = [
-                [pid + p_lo for pid in members] for members in scat.buckets
-            ]
-            sums = bucket_sum(buckets_global, points, curve, n_threads, negate)
-            work.sums.merge(sums.counters)
-            work.active_sum_threads = max(
-                work.active_sum_threads, assigned_buckets * n_threads
-            )
-            work.buckets_touched += assigned_buckets
-            window_partials[w].append((assignment, sums.sums))
-
-        # combine per-window partials and reduce
+        # combine per-window partials and reduce (precompute always reduces
+        # on the host: its single collapsed window has no pipeline to hide in)
         cpu_counters = EventCounters()
+        use_cpu_reduce = config.bucket_reduce_on_cpu or precompute
         window_results = []
-        for w in range(n_win):
-            combined = [XyzzPoint.identity() for _ in range(buckets_total)]
-            for assignment, sums in window_partials[w]:
-                for b, pt in enumerate(sums):
-                    if pt.is_identity:
-                        continue
-                    if combined[b].is_identity:
-                        combined[b] = pt
-                    else:  # ndim: same bucket fed from several point slices
-                        combined[b] = xyzz_add(combined[b], pt, curve)
-                        cpu_counters.cpu_padd += 1
-            if self.config.bucket_reduce_on_cpu:
-                reduced = cpu_bucket_reduce(combined, curve)
-                cpu_counters.merge(reduced.counters)
+        for w in range(plan.num_windows):
+            partials = window_partials[w]
+            combined, merge_padds = backend.combine_window(w, partials, buckets_total)
+            cpu_counters.cpu_padd += merge_padds
+            if use_cpu_reduce:
+                counts, reduced = backend.cpu_reduce_window(combined, buckets_total)
+                cpu_counters.merge(counts)
             else:
-                reduced = cpu_bucket_reduce(combined, curve)  # same math
-                # charge it to the GPUs owning the window instead of the CPU
-                owners = {a.gpu for a, _ in window_partials[w]} or {0}
+                reduced = backend.reduce_value(combined)
+                # charge the reduce to the GPUs owning the window
+                owners = {a.gpu for a, _ in partials} or {0}
                 counts = gpu_bucket_reduce_counts(
                     buckets_total, s, self.system.concurrent_threads_per_gpu,
-                    self.config.gpu_reduce,
+                    config.gpu_reduce,
                 )
-                if self.config.multi_gpu == "ndim":
+                if config.multi_gpu == "ndim":
                     # every GPU reduces its own full bucket array
                     share = counts
                 else:
@@ -283,16 +244,23 @@ class DistMsm:
                     per_gpu_work[g].reduce_threads += min(
                         buckets_total, self.system.concurrent_threads_per_gpu
                     )
-            window_results.append(reduced.result)
+            window_results.append(reduced)
 
-        wr = cpu_window_reduce(window_results, s, curve)
-        cpu_counters.merge(wr.counters)
-        result = to_affine(wr.result, curve)
+        if precompute:
+            wr_counts, point = backend.finalize_precompute(window_results)
+        else:
+            wr_counts, point = backend.window_reduce(window_results)
+        cpu_counters.merge(wr_counts)
 
-        for g, work in enumerate(per_gpu_work):
+        for work in per_gpu_work:
             work.transfer_points = work.buckets_touched
 
-        times = self._phase_times(curve, n, s, buckets_total, plan, per_gpu_work, cpu_counters)
+        breakdown = self._timing_breakdown(
+            curve, s, buckets_total, plan, per_gpu_work, cpu_counters
+        )
+        times = breakdown.phase_times()
+        timeline = build_msm_timeline(breakdown, self.system.resources(), mode="legacy")
+
         total_counters = EventCounters()
         for work in per_gpu_work:
             total_counters.merge(work.scatter)
@@ -300,178 +268,16 @@ class DistMsm:
             total_counters.merge(work.reduce)
         total_counters.merge(cpu_counters)
         return DistMsmResult(
-            point=result,
+            point=point,
             time_ms=times.total,
             times=times,
             counters=total_counters,
             window_size=s,
             plan=plan,
             per_gpu_counters=[w.scatter for w in per_gpu_work],
+            timeline=timeline,
+            breakdown=breakdown,
         )
-
-    def _execute_precompute(self, scalars, points, curve, s, n_win):
-        """Functional path for precompute configs: one collapsed window."""
-        signed = self.config.signed_digits
-        total_windows = n_win + (1 if signed else 0)
-        tables = precompute_tables(points, curve, s, total_windows)
-        n = len(scalars)
-        buckets_total = self.num_buckets(s)
-
-        flat_points: list[AffinePoint] = []
-        digits: list[int] = []
-        negate: list[bool] = []
-        for pid, k in enumerate(scalars):
-            row = (
-                signed_windows(k, s, n_win) if signed else unsigned_windows(k, s, n_win)
-            )
-            for w in range(total_windows):
-                d = row[w]
-                if d == 0:
-                    continue
-                flat_points.append(tables[w][pid])
-                negate.append(d < 0)
-                digits.append(abs(d))
-
-        plan = make_plan(1, self.system.num_gpus, "ndim" if self.config.multi_gpu == "ndim" else "bucket-split")
-        self.system.reset_counters()
-        per_gpu_work = [_GpuWork() for _ in range(self.system.num_gpus)]
-        combined = [XyzzPoint.identity() for _ in range(buckets_total)]
-        cpu_counters = EventCounters()
-        m = len(digits)
-        for assignment in plan.assignments:
-            gpu = self.system.gpus[assignment.gpu]
-            work = per_gpu_work[assignment.gpu]
-            p_lo = int(round(assignment.point_lo * m))
-            p_hi = int(round(assignment.point_hi * m))
-            b_lo = int(round(assignment.bucket_lo * buckets_total))
-            b_hi = int(round(assignment.bucket_hi * buckets_total))
-            local = [
-                d if b_lo <= d < b_hi else 0 for d in digits[p_lo:p_hi]
-            ]
-            if self.config.scatter == "hierarchical":
-                scat = hierarchical_scatter(gpu, local, buckets_total, self.config)
-            else:
-                scat = naive_scatter(gpu, local, buckets_total)
-            work.scatter.merge(scat.counters)
-            assigned = max(1, b_hi - b_lo)
-            n_threads = threads_per_bucket(
-                assigned, self.system.concurrent_threads_per_gpu,
-                self.config.threads_per_bucket_min,
-            )
-            shifted = [[pid + p_lo for pid in mem] for mem in scat.buckets]
-            sums = bucket_sum(shifted, flat_points, curve, n_threads, negate)
-            work.sums.merge(sums.counters)
-            work.active_sum_threads = max(work.active_sum_threads, assigned * n_threads)
-            work.buckets_touched += assigned
-            for b, pt in enumerate(sums.sums):
-                if pt.is_identity:
-                    continue
-                if combined[b].is_identity:
-                    combined[b] = pt
-                else:
-                    combined[b] = xyzz_add(combined[b], pt, curve)
-                    cpu_counters.cpu_padd += 1
-
-        reduced = cpu_bucket_reduce(combined, curve)
-        cpu_counters.merge(reduced.counters)
-        result = to_affine(reduced.result, curve)
-        for work in per_gpu_work:
-            work.transfer_points = work.buckets_touched
-        times = self._phase_times(
-            curve, n, s, buckets_total, plan, per_gpu_work, cpu_counters
-        )
-        total = EventCounters()
-        for work in per_gpu_work:
-            total.merge(work.scatter)
-            total.merge(work.sums)
-        total.merge(cpu_counters)
-        return DistMsmResult(result, times.total, times, total, s, plan)
-
-    # -- analytic estimation ----------------------------------------------------
-
-    def estimate(self, curve: CurveParams, n: int) -> DistMsmResult:
-        """Model the execution time for an ``n``-point MSM on this system."""
-        if n <= 0:
-            raise ValueError("n must be positive")
-        s = self.window_size_for(curve, n)
-        n_win = window_count(curve.scalar_bits, s)
-        if self.config.signed_digits:
-            n_win += 1
-        if getattr(self.config, "precompute", False):
-            return self._estimate_precompute(curve, n, s, n_win)
-        buckets_total = self.num_buckets(s)
-        plan = self._plan(n_win)
-        per_gpu_work = [_GpuWork() for _ in range(self.system.num_gpus)]
-
-        for assignment in plan.assignments:
-            work = per_gpu_work[assignment.gpu]
-            n_eff = n * assignment.point_share
-            share = assignment.bucket_share
-            self._accumulate_analytic(work, n_eff, share, buckets_total)
-
-        cpu_counters = EventCounters()
-        for w in range(n_win):
-            contributors = plan.for_window(w)
-            owners = {a.gpu for a in contributors}
-            if self.config.bucket_reduce_on_cpu:
-                if self.config.multi_gpu == "ndim" and len(owners) > 1:
-                    # host merges every GPU's bucket array before reducing
-                    cpu_counters.cpu_padd += (len(owners) - 1) * int(
-                        round(min(buckets_total, n / len(owners) + 1))
-                    )
-                cpu_counters.merge(cpu_bucket_reduce_counts(buckets_total))
-            else:
-                counts = gpu_bucket_reduce_counts(
-                    buckets_total, s, self.system.concurrent_threads_per_gpu,
-                    self.config.gpu_reduce,
-                )
-                if self.config.multi_gpu == "ndim":
-                    share_counts = counts  # every GPU reduces its own array
-                    if len(owners) > 1:
-                        # host merges one reduced point per GPU per window
-                        cpu_counters.cpu_padd += len(owners) - 1
-                else:
-                    share_counts = counts.scaled(1.0 / len(owners))
-                for g in owners:
-                    per_gpu_work[g].reduce.merge(share_counts)
-                    per_gpu_work[g].reduce_threads += min(
-                        buckets_total, self.system.concurrent_threads_per_gpu
-                    )
-        cpu_counters.cpu_pdbl += n_win * s
-        cpu_counters.cpu_padd += n_win
-
-        times = self._phase_times(
-            curve, n, s, buckets_total, plan, per_gpu_work, cpu_counters
-        )
-        total = EventCounters()
-        for work in per_gpu_work:
-            total.merge(work.scatter)
-            total.merge(work.sums)
-            total.merge(work.reduce)
-        total.merge(cpu_counters)
-        return DistMsmResult(None, times.total, times, total, s, plan)
-
-    def _estimate_precompute(self, curve, n, s, n_win):
-        """Analytic path for precompute configs: one collapsed window."""
-        buckets_total = self.num_buckets(s)
-        plan = make_plan(1, self.system.num_gpus, "ndim" if self.config.multi_gpu == "ndim" else "bucket-split")
-        per_gpu_work = [_GpuWork() for _ in range(self.system.num_gpus)]
-        m = n * n_win  # flattened point stream
-        for assignment in plan.assignments:
-            work = per_gpu_work[assignment.gpu]
-            self._accumulate_analytic(
-                work, m * assignment.point_share, assignment.bucket_share, buckets_total
-            )
-        cpu_counters = cpu_bucket_reduce_counts(buckets_total)
-        times = self._phase_times(
-            curve, n, s, buckets_total, plan, per_gpu_work, cpu_counters
-        )
-        total = EventCounters()
-        for work in per_gpu_work:
-            total.merge(work.scatter)
-            total.merge(work.sums)
-        total.merge(cpu_counters)
-        return DistMsmResult(None, times.total, times, total, s, plan)
 
     def _accumulate_analytic(self, work, n_eff, bucket_share, buckets_total):
         """Add one assignment's expected counts to a GPU's work summary."""
@@ -500,26 +306,21 @@ class DistMsm:
 
     # -- shared timing -------------------------------------------------------
 
-    def _phase_times(
+    def _timing_breakdown(
         self,
         curve: CurveParams,
-        n: int,
         s: int,
         buckets_total: int,
         plan: Plan,
         per_gpu_work: list,
         cpu_counters: EventCounters,
-    ) -> PhaseTimes:
+    ) -> MsmTimingBreakdown:
         spec = self.system.spec
         desc = KernelDescriptor(curve, self.config.kernel_opts)
         eff = self.config.efficiency
+        api = self.config.api
 
-        scatter_ms = 0.0
-        sum_ms = 0.0
-        reduce_gpu_ms = 0.0
-        transfer_ms = 0.0
-        launch_ms = 0.0
-        gpu_totals = []
+        per_gpu: list[GpuPhaseMs] = []
         for work in per_gpu_work:
             g_scatter = scatter_time_ms(
                 spec,
@@ -528,7 +329,6 @@ class DistMsm:
                 min(spec.concurrent_threads, max(1, work.active_sum_threads or 1)),
                 self.config.threads_per_block,
             ) / eff
-            api = self.config.api
             g_sum = (
                 ec_ops_time_ms(desc, "pacc", work.sums.pacc, spec, work.active_sum_threads or None, api)
                 + ec_ops_time_ms(desc, "padd", work.sums.padd, spec, work.active_sum_threads or None, api)
@@ -546,39 +346,29 @@ class DistMsm:
                 work.scatter.kernel_launches + work.sums.kernel_launches + work.reduce.kernel_launches,
                 spec,
             )
-            scatter_ms = max(scatter_ms, g_scatter)
-            sum_ms = max(sum_ms, g_sum)
-            reduce_gpu_ms = max(reduce_gpu_ms, g_reduce)
-            transfer_ms = max(transfer_ms, g_transfer)
-            launch_ms = max(launch_ms, g_launch)
-            gpu_totals.append(g_scatter + g_sum + g_reduce + g_transfer + g_launch)
+            per_gpu.append(
+                GpuPhaseMs(g_scatter, g_sum, g_reduce, g_transfer, g_launch)
+            )
 
         cpu_rate = self.system.cpu_padd_rate()
         cpu_reduce_ms = cpu_ec_time_ms(cpu_counters.cpu_padd, 0, cpu_rate)
         window_reduce_ms = cpu_ec_time_ms(0, cpu_counters.cpu_pdbl, cpu_rate)
-        # pipeline overlap: per-window reduces hide behind the GPUs' work on
-        # subsequent windows.  Visible CPU time is the tail reduce plus any
-        # backlog beyond the overlappable GPU time — the first window's GPU
-        # fill cannot overlap (two-machine flow-shop makespan).
         if self.config.bucket_reduce_on_cpu and plan.num_windows > 1:
-            k = plan.num_windows
-            per_window = cpu_reduce_ms / k
-            gpu_busy = max(gpu_totals) if gpu_totals else 0.0
-            overlappable = gpu_busy * (k - 1) / k
-            visible_cpu = per_window + max(
-                0.0, cpu_reduce_ms - per_window - overlappable
+            gpu_busy = max((g.total for g in per_gpu), default=0.0)
+            visible_cpu = pipelined_cpu_visible_ms(
+                cpu_reduce_ms, gpu_busy, plan.num_windows
             )
         else:
             visible_cpu = cpu_reduce_ms
 
         # inter-node coordination: one sync per DGX node boundary
-        coordination_ms = NODE_SYNC_MS * self.system.nodes
+        coordination_ms = self.config.node_sync_ms * self.system.nodes
 
-        return PhaseTimes(
-            scatter=scatter_ms,
-            bucket_sum=sum_ms,
-            bucket_reduce=reduce_gpu_ms + visible_cpu,
-            window_reduce=window_reduce_ms,
-            transfer=transfer_ms + coordination_ms,
-            launch=launch_ms,
+        return MsmTimingBreakdown(
+            per_gpu=per_gpu,
+            cpu_reduce_raw_ms=cpu_reduce_ms,
+            visible_cpu_ms=visible_cpu,
+            window_reduce_ms=window_reduce_ms,
+            coordination_ms=coordination_ms,
+            num_windows=plan.num_windows,
         )

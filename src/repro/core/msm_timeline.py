@@ -1,0 +1,238 @@
+"""MSM phase timings and their task-graph emission onto the engine.
+
+:class:`MsmTimingBreakdown` is the single timing artifact both DistMSM
+paths (functional and analytic) produce: per-GPU phase milliseconds plus
+the host-side components.  From it:
+
+* :meth:`MsmTimingBreakdown.phase_times` reproduces the legacy
+  :class:`PhaseTimes` report (per-phase maxima, CPU reduce overlapped by
+  the §3.2.3 flow-shop closed form) — the numbers every figure/table
+  reproduction is calibrated against;
+* :func:`build_msm_timeline` emits the same work as tasks on the
+  event-driven engine, in one of three schedules:
+
+  - ``"legacy"`` — phase-barrier schedule whose makespan equals
+    ``PhaseTimes.total`` (the parity mode; overlap folded in via the
+    closed form, exactly as the legacy model did);
+  - ``"serial"`` — phase barriers with the *raw* CPU reduce time (no
+    overlap anywhere: the pessimistic bound);
+  - ``"overlap"`` — per-window pipelining resolved by the event loop
+    itself: window ``i``'s CPU reduce races the GPUs' window ``i+1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.resources import SystemResources
+from repro.engine.timeline import Timeline, TimelineBuilder
+
+TIMELINE_MODES = ("legacy", "serial", "overlap")
+
+
+@dataclass
+class PhaseTimes:
+    """Modelled wall time per pipeline phase, milliseconds."""
+
+    scatter: float = 0.0
+    bucket_sum: float = 0.0
+    bucket_reduce: float = 0.0
+    window_reduce: float = 0.0
+    transfer: float = 0.0
+    launch: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.scatter
+            + self.bucket_sum
+            + self.bucket_reduce
+            + self.window_reduce
+            + self.transfer
+            + self.launch
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "scatter": self.scatter,
+            "bucket_sum": self.bucket_sum,
+            "bucket_reduce": self.bucket_reduce,
+            "window_reduce": self.window_reduce,
+            "transfer": self.transfer,
+            "launch": self.launch,
+            "total": self.total,
+        }
+
+
+@dataclass(frozen=True)
+class GpuPhaseMs:
+    """One GPU's modelled milliseconds per pipeline phase."""
+
+    scatter: float = 0.0
+    bucket_sum: float = 0.0
+    reduce: float = 0.0
+    transfer: float = 0.0
+    launch: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.scatter + self.bucket_sum + self.reduce + self.transfer + self.launch
+
+    @property
+    def compute_ms(self) -> float:
+        """On-GPU work (everything but the host-link transfer)."""
+        return self.scatter + self.bucket_sum + self.reduce + self.launch
+
+
+@dataclass
+class MsmTimingBreakdown:
+    """The complete timing decomposition of one MSM on one system."""
+
+    per_gpu: list[GpuPhaseMs]
+    #: un-overlapped host bucket-reduce time (all CPU PADDs)
+    cpu_reduce_raw_ms: float
+    #: host bucket-reduce time visible after the intra-MSM flow-shop overlap
+    visible_cpu_ms: float
+    window_reduce_ms: float
+    #: inter-node host coordination (sync per DGX node)
+    coordination_ms: float
+    num_windows: int
+
+    def _phase_max(self, attr: str) -> float:
+        return max((getattr(g, attr) for g in self.per_gpu), default=0.0)
+
+    def phase_times(self) -> PhaseTimes:
+        """The legacy per-phase report (maxima across GPUs, serial sum)."""
+        return PhaseTimes(
+            scatter=self._phase_max("scatter"),
+            bucket_sum=self._phase_max("bucket_sum"),
+            bucket_reduce=self._phase_max("reduce") + self.visible_cpu_ms,
+            window_reduce=self.window_reduce_ms,
+            transfer=self._phase_max("transfer") + self.coordination_ms,
+            launch=self._phase_max("launch"),
+        )
+
+
+def build_msm_timeline(
+    breakdown: MsmTimingBreakdown,
+    resources: SystemResources,
+    mode: str = "legacy",
+    label: str = "msm",
+) -> Timeline:
+    """Emit one MSM's work as tasks on the engine and schedule it."""
+    if mode not in TIMELINE_MODES:
+        raise ValueError(f"unknown timeline mode {mode!r}; choose from {TIMELINE_MODES}")
+    if len(breakdown.per_gpu) > len(resources.gpus):
+        raise ValueError(
+            f"breakdown covers {len(breakdown.per_gpu)} GPUs but the resource "
+            f"set has only {len(resources.gpus)}"
+        )
+    if mode == "overlap":
+        return _build_overlapped(breakdown, resources, label)
+    return _build_phase_barriers(breakdown, resources, mode, label)
+
+
+def _build_phase_barriers(
+    breakdown: MsmTimingBreakdown,
+    resources: SystemResources,
+    mode: str,
+    label: str,
+) -> Timeline:
+    """Phase-serial schedule: each phase is a barrier over all resources."""
+    b = TimelineBuilder()
+    per_gpu = breakdown.per_gpu
+
+    b.barrier_stage("scatter")
+    for g, ph in enumerate(per_gpu):
+        b.add(f"{label}:scatter:g{g}", resources.gpu(g), ph.scatter)
+    b.barrier_stage("bucket-sum")
+    for g, ph in enumerate(per_gpu):
+        b.add(f"{label}:bucket-sum:g{g}", resources.gpu(g), ph.bucket_sum)
+    b.barrier_stage("bucket-reduce-gpu")
+    for g, ph in enumerate(per_gpu):
+        b.add(f"{label}:bucket-reduce:g{g}", resources.gpu(g), ph.reduce)
+    b.barrier_stage("bucket-reduce-cpu")
+    cpu_ms = breakdown.visible_cpu_ms if mode == "legacy" else breakdown.cpu_reduce_raw_ms
+    b.add(f"{label}:bucket-reduce:cpu", resources.cpu, cpu_ms)
+    b.barrier_stage("window-reduce")
+    b.add(f"{label}:window-reduce", resources.cpu, breakdown.window_reduce_ms)
+    b.barrier_stage("transfer")
+    # the legacy model treats per-GPU device-to-host copies as concurrent
+    # (phase time = max); emit one task per node channel at the node's max
+    node_transfer: dict[int, float] = {}
+    for g, ph in enumerate(per_gpu):
+        node = resources.channel_for_gpu(g).index
+        node_transfer[node] = max(node_transfer.get(node, 0.0), ph.transfer)
+    for node, ms in sorted(node_transfer.items()):
+        b.add(f"{label}:transfer:node{node}", resources.channels[node], ms)
+    b.barrier_stage("node-sync")
+    b.add(f"{label}:node-sync", resources.cpu, breakdown.coordination_ms)
+    b.barrier_stage("launch-overhead")
+    for g, ph in enumerate(per_gpu):
+        b.add(f"{label}:launch:g{g}", resources.gpu(g), ph.launch)
+    return b.build()
+
+
+def _build_overlapped(
+    breakdown: MsmTimingBreakdown,
+    resources: SystemResources,
+    label: str,
+) -> Timeline:
+    """Per-window pipelined schedule: CPU reduces race later GPU windows."""
+    b = TimelineBuilder()
+    k = max(1, breakdown.num_windows)
+    per_gpu = breakdown.per_gpu
+    reduce_names: list[str] = []
+    transfer_names: list[str] = []
+    for w in range(k):
+        # per-GPU compute, then one device-to-host copy per node channel at
+        # the node's max (per-GPU links are concurrent within a node, same
+        # aggregation as the barrier modes)
+        node_gpu_tasks: dict[int, list[str]] = {}
+        node_transfer_ms: dict[int, float] = {}
+        for g, ph in enumerate(per_gpu):
+            gpu_task = b.add(
+                f"{label}:w{w}:g{g}",
+                resources.gpu(g),
+                ph.compute_ms / k,
+                stage=f"window-{w}",
+            )
+            node = resources.channel_for_gpu(g).index
+            node_gpu_tasks.setdefault(node, []).append(gpu_task)
+            node_transfer_ms[node] = max(node_transfer_ms.get(node, 0.0), ph.transfer)
+        window_transfers: list[str] = []
+        for node, gpu_tasks in sorted(node_gpu_tasks.items()):
+            window_transfers.append(
+                b.add(
+                    f"{label}:w{w}:transfer:node{node}",
+                    resources.channels[node],
+                    node_transfer_ms[node] / k,
+                    deps=tuple(gpu_tasks),
+                    stage=f"window-{w}",
+                )
+            )
+        reduce_names.append(
+            b.add(
+                f"{label}:w{w}:reduce",
+                resources.cpu,
+                breakdown.cpu_reduce_raw_ms / k,
+                deps=tuple(window_transfers),
+                stage=f"window-{w}",
+            )
+        )
+        transfer_names.extend(window_transfers)
+    b.add(
+        f"{label}:window-reduce",
+        resources.cpu,
+        breakdown.window_reduce_ms,
+        deps=tuple(reduce_names),
+        stage="window-reduce",
+    )
+    b.add(
+        f"{label}:node-sync",
+        resources.cpu,
+        breakdown.coordination_ms,
+        deps=tuple(transfer_names),
+        stage="node-sync",
+    )
+    return b.build()

@@ -3,9 +3,9 @@
 "Proof generation involves several MSM calculations and other GPU tasks,
 which means that bucket-reduce can be efficiently pipelined": while the CPU
 reduces MSM *i*'s buckets, the GPUs already run MSM *i+1*.  This module
-models that two-resource pipeline — a classic two-machine flow shop — both
-with a closed form for identical jobs and a small event-driven scheduler
-for heterogeneous ones (Groth16's four different MSM instances).
+models that two-resource pipeline — a classic two-machine flow shop — as
+two resources on the event-driven timeline (:mod:`repro.engine`), with a
+closed form for identical jobs.
 """
 
 from __future__ import annotations
@@ -14,7 +14,13 @@ from dataclasses import dataclass
 
 from repro.core.distmsm import DistMsm
 from repro.curves.params import CurveParams
+from repro.engine.resources import GPU_COMPUTE, HOST_CPU, Resource
+from repro.engine.timeline import Task, Timeline, simulate
 from repro.gpu.timing import cpu_ec_time_ms
+
+#: the flow shop's two machines
+GPU_STAGE = Resource("gpu", GPU_COMPUTE)
+CPU_STAGE = Resource("cpu", HOST_CPU)
 
 
 @dataclass(frozen=True)
@@ -30,10 +36,12 @@ class MsmJob:
 class PipelineSchedule:
     """Outcome of scheduling a job sequence over the GPU+CPU pipeline."""
 
-    jobs: list
+    jobs: list[MsmJob]
     pipelined_ms: float
     serial_ms: float
-    timeline: list  # (label, gpu_start, gpu_end, cpu_start, cpu_end)
+    timeline: list[tuple[str, float, float, float, float]]
+    #: the underlying engine schedule (same spans as ``timeline``)
+    engine_timeline: Timeline | None = None
 
     @property
     def speedup(self) -> float:
@@ -42,29 +50,40 @@ class PipelineSchedule:
         return self.serial_ms / self.pipelined_ms
 
 
-def schedule_pipeline(jobs: list) -> PipelineSchedule:
-    """Event-driven two-stage pipeline: GPU stage then CPU stage per job.
+def schedule_pipeline(jobs: list[MsmJob]) -> PipelineSchedule:
+    """Two-stage flow shop on the engine: GPU stage then CPU stage per job.
 
-    The GPU starts job *i+1* as soon as job *i*'s GPU stage ends; the CPU
-    processes reduce stages in order, each starting when both its GPU stage
-    and the previous CPU stage have finished.
+    Each job becomes two tasks — its GPU stage on the shared GPU resource,
+    its bucket-reduce on the CPU, dependent on the GPU stage.  The engine's
+    FIFO resources reproduce the classic recurrence: the GPU starts job
+    *i+1* as soon as job *i*'s GPU stage ends, while the CPU processes
+    reduce stages in order, each starting when both its GPU stage and the
+    previous CPU stage have finished.
     """
-    gpu_free = 0.0
-    cpu_free = 0.0
-    timeline = []
-    for job in jobs:
+    tasks: list[Task] = []
+    for i, job in enumerate(jobs):
         if job.gpu_ms < 0 or job.cpu_ms < 0:
             raise ValueError(f"negative stage time in job {job.label!r}")
-        gpu_start = gpu_free
-        gpu_end = gpu_start + job.gpu_ms
-        cpu_start = max(gpu_end, cpu_free)
-        cpu_end = cpu_start + job.cpu_ms
-        gpu_free = gpu_end
-        cpu_free = cpu_end
-        timeline.append((job.label, gpu_start, gpu_end, cpu_start, cpu_end))
-    pipelined = cpu_free if jobs else 0.0
+        gpu_name = f"{job.label}#{i}:gpu"
+        tasks.append(Task(gpu_name, GPU_STAGE, job.gpu_ms, stage=job.label))
+        tasks.append(
+            Task(
+                f"{job.label}#{i}:cpu",
+                CPU_STAGE,
+                job.cpu_ms,
+                deps=(gpu_name,),
+                stage=job.label,
+            )
+        )
+    engine_timeline = simulate(tasks)
+    timeline: list[tuple[str, float, float, float, float]] = []
+    for i, job in enumerate(jobs):
+        g = engine_timeline.span(f"{job.label}#{i}:gpu")
+        c = engine_timeline.span(f"{job.label}#{i}:cpu")
+        timeline.append((job.label, g.start_ms, g.end_ms, c.start_ms, c.end_ms))
+    pipelined = timeline[-1][4] if jobs else 0.0
     serial = sum(j.gpu_ms + j.cpu_ms for j in jobs)
-    return PipelineSchedule(list(jobs), pipelined, serial, timeline)
+    return PipelineSchedule(list(jobs), pipelined, serial, timeline, engine_timeline)
 
 
 def identical_jobs_makespan(gpu_ms: float, cpu_ms: float, count: int) -> float:
@@ -95,7 +114,9 @@ def msm_job_from_estimate(engine: DistMsm, curve: CurveParams, n: int, label: st
     return MsmJob(label=label, gpu_ms=gpu_ms, cpu_ms=cpu_raw_ms)
 
 
-def groth16_msm_jobs(engine: DistMsm, curve: CurveParams, constraints: int) -> list:
+def groth16_msm_jobs(
+    engine: DistMsm, curve: CurveParams, constraints: int
+) -> list[MsmJob]:
     """The MSM sequence of one Groth16 proof: A, B, C queries plus H.
 
     A/B/C queries run over the witness length (~constraints), the H query

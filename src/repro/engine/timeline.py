@@ -1,0 +1,294 @@
+"""Event-driven execution timeline: tasks, dependencies, resources.
+
+One deterministic discrete-event simulator replaces the repo's previous
+three ad-hoc timing models (serial phase sums, the private two-machine flow
+shop in ``core.multi_msm``, and the Amdahl split in ``zksnark.pipeline``).
+Producers *emit tasks* — a name, a :class:`~repro.engine.resources.Resource`,
+a duration, dependency edges — and :func:`simulate` schedules them:
+
+* a task becomes *ready* when all its dependencies have finished;
+* each resource executes one task at a time, FIFO in readiness order
+  (ties broken by submission order), like an in-order CUDA stream;
+* the loop always dispatches the ready task with the smallest
+  ``(ready_time, submission index)``, so results are fully deterministic.
+
+The resulting :class:`Timeline` carries per-task spans, per-resource
+utilization, and the critical path — the quantities Figs. 8/9 and the
+§3.2.3 pipelining argument are really about.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.engine.resources import Resource
+
+#: scheduling/verification tolerance for time comparisons (milliseconds)
+TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work bound to a resource.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within its timeline.
+    resource:
+        Where the task runs (a serially-executing unit).
+    duration_ms:
+        Modelled execution time; zero-duration marker tasks are allowed.
+    deps:
+        Names of tasks that must finish before this one may start.
+    stage:
+        Optional grouping label (pipeline phase) for reporting.
+    """
+
+    name: str
+    resource: Resource
+    duration_ms: float
+    deps: tuple[str, ...] = ()
+    stage: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration_ms < 0:
+            raise ValueError(
+                f"task {self.name!r}: negative duration {self.duration_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A named group of tasks forming one pipeline phase (barrier group)."""
+
+    name: str
+    tasks: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TaskSpan:
+    """The scheduled interval of one task."""
+
+    task: str
+    resource: Resource
+    start_ms: float
+    end_ms: float
+    stage: str = ""
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass
+class Timeline:
+    """A fully scheduled task graph.
+
+    ``spans`` maps task name to its interval; ``total_ms`` is the makespan
+    (max end over all spans, 0 for an empty timeline).  The original tasks
+    (with their dependency edges) are retained so independent checkers
+    (:mod:`repro.verify.timelinecheck`) can audit the schedule without
+    re-running the simulator.
+    """
+
+    tasks: tuple[Task, ...]
+    spans: dict[str, TaskSpan]
+    total_ms: float
+    stages: tuple[Stage, ...] = ()
+    #: task name -> the predecessor (dependency or resource queue) that
+    #: determined its start time; roots map to None
+    binding: dict[str, str | None] = field(default_factory=dict)
+
+    def span(self, task: str) -> TaskSpan:
+        return self.spans[task]
+
+    def busy_ms(self) -> dict[str, float]:
+        """Total busy time per resource name."""
+        busy: dict[str, float] = {}
+        for span in self.spans.values():
+            busy[span.resource.name] = busy.get(span.resource.name, 0.0) + span.duration_ms
+        return busy
+
+    def utilization(self) -> dict[str, float]:
+        """Busy fraction of the makespan per resource name."""
+        if self.total_ms <= 0:
+            return {name: 0.0 for name in self.busy_ms()}
+        return {name: b / self.total_ms for name, b in self.busy_ms().items()}
+
+    def critical_path(self) -> list[str]:
+        """Task names on the chain that sets the makespan, in time order.
+
+        Follows each task's *binding* predecessor — the dependency or
+        resource-queue neighbour whose completion gated its start — from
+        the last-finishing task back to a root.
+        """
+        if not self.spans:
+            return []
+        last = max(self.spans.values(), key=lambda s: (s.end_ms, s.task)).task
+        path = [last]
+        while True:
+            prev = self.binding.get(path[-1])
+            if prev is None:
+                break
+            path.append(prev)
+        path.reverse()
+        return path
+
+    def stage_spans(self) -> dict[str, tuple[float, float]]:
+        """Per-stage (start, end) envelopes, for phase-level reporting."""
+        out: dict[str, tuple[float, float]] = {}
+        for span in self.spans.values():
+            if not span.stage:
+                continue
+            lo, hi = out.get(span.stage, (span.start_ms, span.end_ms))
+            out[span.stage] = (min(lo, span.start_ms), max(hi, span.end_ms))
+        return out
+
+    def render(self, width: int = 60) -> str:
+        """ASCII Gantt chart, one row per resource."""
+        if not self.spans:
+            return "(empty timeline)"
+        end = self.total_ms or 1.0
+        by_resource: dict[str, list[TaskSpan]] = {}
+        for span in sorted(self.spans.values(), key=lambda s: (s.start_ms, s.task)):
+            by_resource.setdefault(span.resource.name, []).append(span)
+        label_w = max(len(name) for name in by_resource)
+        lines = [f"timeline makespan {self.total_ms:.3f} ms"]
+        for name in sorted(by_resource):
+            row = [" "] * width
+            for i, span in enumerate(by_resource[name]):
+                lo = round(span.start_ms / end * width)
+                hi = max(lo + 1, round(span.end_ms / end * width))
+                mark = "#~=+*"[i % 5]
+                for c in range(lo, min(hi, width)):
+                    row[c] = mark
+            lines.append(f"{name:>{label_w}} |{''.join(row)}")
+        lines.append(" " * label_w + " +" + "-" * width)
+        return "\n".join(lines)
+
+
+def simulate(tasks: list[Task] | tuple[Task, ...], stages: tuple[Stage, ...] = ()) -> Timeline:
+    """Schedule ``tasks`` over their resources; deterministic event loop."""
+    task_list = tuple(tasks)
+    by_name: dict[str, Task] = {}
+    for task in task_list:
+        if task.name in by_name:
+            raise ValueError(f"duplicate task name {task.name!r}")
+        by_name[task.name] = task
+    order = {task.name: i for i, task in enumerate(task_list)}
+    for task in task_list:
+        for dep in task.deps:
+            if dep not in by_name:
+                raise ValueError(f"task {task.name!r} depends on unknown {dep!r}")
+
+    remaining = {task.name: len(set(task.deps)) for task in task_list}
+    dependants: dict[str, list[str]] = {task.name: [] for task in task_list}
+    for task in task_list:
+        for dep in set(task.deps):
+            dependants[dep].append(task.name)
+
+    #: (ready_time, submission index, name) — the dispatch priority
+    ready: list[tuple[float, int, str]] = [
+        (0.0, order[name], name) for name, n in remaining.items() if n == 0
+    ]
+    heapq.heapify(ready)
+
+    free: dict[str, float] = {}
+    queue_tail: dict[str, str] = {}  # resource name -> last task scheduled on it
+    ends: dict[str, float] = {}
+    spans: dict[str, TaskSpan] = {}
+    binding: dict[str, str | None] = {}
+    done = 0
+
+    while ready:
+        ready_time, _, name = heapq.heappop(ready)
+        task = by_name[name]
+        res = task.resource.name
+        res_free = free.get(res, 0.0)
+        start = max(ready_time, res_free)
+
+        # what gated the start: the resource queue, or the latest dependency
+        gate: str | None = None
+        if task.deps:
+            latest = max(task.deps, key=lambda d: (ends[d], -order[d]))
+            if ends[latest] >= res_free - TIME_EPS:
+                gate = latest
+        if gate is None and res in queue_tail and res_free > ready_time - TIME_EPS:
+            gate = queue_tail[res]
+        binding[name] = gate
+
+        end = start + task.duration_ms
+        free[res] = end
+        queue_tail[res] = name
+        ends[name] = end
+        spans[name] = TaskSpan(name, task.resource, start, end, task.stage)
+        done += 1
+
+        for child in dependants[name]:
+            remaining[child] -= 1
+            if remaining[child] == 0:
+                child_ready = max(
+                    (ends[d] for d in by_name[child].deps), default=0.0
+                )
+                heapq.heappush(ready, (child_ready, order[child], child))
+
+    if done != len(task_list):
+        stuck = sorted(n for n, k in remaining.items() if k > 0)
+        raise ValueError(f"dependency cycle among tasks: {', '.join(stuck)}")
+
+    total = max((s.end_ms for s in spans.values()), default=0.0)
+    return Timeline(task_list, spans, total, stages, binding)
+
+
+class TimelineBuilder:
+    """Incremental task-graph construction with barrier-stage support.
+
+    ``add`` registers one task; ``barrier_stage`` opens a named stage whose
+    tasks all depend on *every* task of the previous barrier stage — the
+    phase-serial structure of the legacy timing model.  ``build`` runs the
+    simulator.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: list[Task] = []
+        self._stages: list[Stage] = []
+        self._stage_tasks: list[str] = []
+        self._prev_stage_tasks: tuple[str, ...] = ()
+        self._stage_name: str | None = None
+
+    def add(
+        self,
+        name: str,
+        resource: Resource,
+        duration_ms: float,
+        deps: tuple[str, ...] = (),
+        stage: str | None = None,
+    ) -> str:
+        """Register a task; inside a barrier stage, barrier deps are added."""
+        label = stage if stage is not None else (self._stage_name or "")
+        all_deps = deps
+        if self._stage_name is not None and stage is None:
+            all_deps = tuple(dict.fromkeys(deps + self._prev_stage_tasks))
+        self._tasks.append(Task(name, resource, duration_ms, all_deps, label))
+        if self._stage_name is not None and stage is None:
+            self._stage_tasks.append(name)
+        return name
+
+    def barrier_stage(self, name: str) -> None:
+        """Close the current barrier stage and open a new one."""
+        self._close_stage()
+        self._stage_name = name
+
+    def _close_stage(self) -> None:
+        if self._stage_name is not None:
+            self._stages.append(Stage(self._stage_name, tuple(self._stage_tasks)))
+            if self._stage_tasks:
+                self._prev_stage_tasks = tuple(self._stage_tasks)
+        self._stage_tasks = []
+
+    def build(self) -> Timeline:
+        self._close_stage()
+        self._stage_name = None
+        return simulate(self._tasks, tuple(self._stages))

@@ -49,6 +49,18 @@ class MultiGpuSystem:
         for gpu in self.gpus:
             gpu.counters = EventCounters()
 
+    def resources(self):
+        """The engine's typed resource set for this cluster.
+
+        One compute stream per GPU, one transfer channel per DGX node, one
+        host CPU — the units :func:`repro.engine.timeline.simulate`
+        schedules tasks onto.  Imported lazily: engine depends on core,
+        which depends on this module.
+        """
+        from repro.engine.resources import system_resources
+
+        return system_resources(self.num_gpus)
+
     def cpu_padd_rate(self) -> float:
         """Host PADD throughput (ops/s), from the paper's 128x GPU:CPU ratio.
 

@@ -44,6 +44,13 @@ class EventCounters:
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         return self
 
+    def copy(self) -> "EventCounters":
+        """An independent copy of this counter set."""
+        out = EventCounters()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name))
+        return out
+
     def scaled(self, factor: float) -> "EventCounters":
         """A copy with every tally multiplied by ``factor`` (rounded)."""
         out = EventCounters()

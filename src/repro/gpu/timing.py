@@ -184,6 +184,21 @@ def cpu_ec_time_ms(padd_count: float, pdbl_count: float, cpu_rate: float) -> flo
     return (padd_count + 1.2 * pdbl_count) / cpu_rate * 1e3
 
 
+def pipelined_cpu_visible_ms(cpu_ms: float, gpu_busy_ms: float, stages: int) -> float:
+    """Visible CPU time after per-stage flow-shop overlap (paper §3.2.3).
+
+    Per-stage CPU reduces hide behind the GPUs' work on subsequent stages;
+    what stays visible is the tail stage plus any backlog beyond the
+    overlappable GPU time — the first stage's GPU fill cannot overlap
+    (two-machine flow-shop makespan).
+    """
+    if stages <= 1:
+        return cpu_ms
+    per_stage = cpu_ms / stages
+    overlappable = gpu_busy_ms * (stages - 1) / stages
+    return per_stage + max(0.0, cpu_ms - per_stage - overlappable)
+
+
 def host_transfer_time_ms(num_bytes: float, spec: GpuSpec) -> float:
     """PCIe transfer time for result collection."""
     return num_bytes / (spec.pcie_gbps * 1e9) * 1e3

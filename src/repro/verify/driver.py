@@ -12,7 +12,10 @@ the independent checkers in this package:
   curve's limb count against the GPU shared-memory limits;
 * every scatter strategy named by a registered baseline (plus DistMSM's
   own hierarchical default), race-checked on a deterministic workload;
-* the parallel bucket-sum's trace.
+* the parallel bucket-sum's trace;
+* the execution engine's schedules — every timeline mode of a DistMSM
+  estimate, the cross-MSM flow shop, and a batched-MSM schedule — audited
+  against the dependency / resource-exclusivity / makespan invariants.
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ from repro.verify.races import (
 from repro.verify.report import VerificationReport
 from repro.verify.schedule import verify_schedule
 from repro.verify.spillcheck import verify_spill_plan
+from repro.verify.timelinecheck import verify_timeline
 
 #: kernel name -> (DAG builder, modular-multiplication budget)
 KERNEL_BUDGETS = {
@@ -171,6 +175,62 @@ def verify_bucket_sum(report: VerificationReport | None = None) -> VerificationR
     return report
 
 
+def verify_timelines(report: VerificationReport | None = None) -> VerificationReport:
+    """Audit the engine's schedules across its producing layers.
+
+    Uses a fixed window size so no auto-tune sweep runs inside the gate;
+    the timelines audited are real artifacts of the same code paths the
+    benchmarks and figures use.
+    """
+    from repro.core.distmsm import DistMsm
+    from repro.core.msm_timeline import TIMELINE_MODES, build_msm_timeline
+    from repro.core.multi_msm import MsmJob, schedule_pipeline
+    from repro.curves.params import curve_by_name
+    from repro.engine.batch import BatchMsmScheduler, MsmRequest
+    from repro.gpu.cluster import MultiGpuSystem
+
+    report = report or VerificationReport()
+    curve = curve_by_name("BLS12-381")
+    config = DistMsmConfig(window_size=10)
+    engine = DistMsm(MultiGpuSystem(8), config)
+    est = engine.estimate(curve, 1 << 18)
+
+    for mode in TIMELINE_MODES:
+        timeline = (
+            est.timeline
+            if mode == "legacy"
+            else build_msm_timeline(est.breakdown, engine.system.resources(), mode=mode)
+        )
+        checked = verify_timeline(timeline, subject=f"DistMSM estimate ({mode} mode)")
+        report.extend(checked.violations)
+        report.add_check(
+            f"DistMSM {mode} timeline valid "
+            f"({checked.tasks} tasks on {checked.resources} resources)"
+        )
+
+    flow = schedule_pipeline(
+        [MsmJob("A", 4.0, 3.0), MsmJob("B", 5.0, 2.0), MsmJob("C", 2.0, 6.0)]
+    )
+    assert flow.engine_timeline is not None
+    checked = verify_timeline(flow.engine_timeline, subject="cross-MSM flow shop")
+    report.extend(checked.violations)
+    report.add_check(
+        f"flow-shop timeline valid ({checked.tasks} tasks, "
+        f"makespan {flow.pipelined_ms:.2f} ms)"
+    )
+
+    batch = BatchMsmScheduler(MultiGpuSystem(8), config, gpu_groups=2).schedule(
+        [MsmRequest(f"req{i}", curve, 1 << 18) for i in range(4)]
+    )
+    checked = verify_timeline(batch.timeline, subject="batched-MSM schedule")
+    report.extend(checked.violations)
+    report.add_check(
+        f"batch timeline valid ({checked.tasks} tasks, "
+        f"{batch.speedup:.2f}x over serial)"
+    )
+    return report
+
+
 def verify_all() -> VerificationReport:
     """Verify every registered kernel and baseline configuration."""
     report = VerificationReport()
@@ -186,4 +246,5 @@ def verify_all() -> VerificationReport:
             verify_spill_plans(baseline.curves, report)
 
     verify_bucket_sum(report)
+    verify_timelines(report)
     return report

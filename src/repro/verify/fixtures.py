@@ -13,11 +13,16 @@ checker rejects it with a diagnostic naming the offending op or address.
   policy or an off-by-one in the reload placement);
 * ``scatter-race`` — the naive scatter with its bucket-counter atomic
   replaced by a plain read-modify-write (a missed ``atomicAdd`` in a new
-  scatter variant).
+  scatter variant);
+* ``timeline-overlap`` — an engine schedule whose CPU resource runs two
+  bucket-reduces at once and whose makespan claim hides the second one (a
+  broken resource queue in a new timeline mode would produce exactly this).
 """
 
 from __future__ import annotations
 
+from repro.engine.resources import GPU_COMPUTE, HOST_CPU, Resource
+from repro.engine.timeline import Task, TaskSpan, Timeline
 from repro.kernels.dag import build_pacc_dag
 from repro.kernels.scheduler import find_optimal_schedule
 from repro.kernels.spill import SpillPlan, plan_spills
@@ -25,6 +30,7 @@ from repro.verify.races import RaceCheckResult, detect_races, trace_naive_scatte
 from repro.verify.report import VerificationReport
 from repro.verify.schedule import ScheduleCheckResult, verify_schedule
 from repro.verify.spillcheck import SpillCheckResult, verify_spill_plan
+from repro.verify.timelinecheck import TimelineCheckResult, verify_timeline
 
 
 def broken_schedule_check() -> ScheduleCheckResult:
@@ -73,11 +79,39 @@ def broken_scatter_check() -> RaceCheckResult:
     return detect_races(trace, subject="naive scatter without atomics")
 
 
+def broken_timeline_check() -> TimelineCheckResult:
+    """An engine schedule with a double-booked CPU and a stale makespan.
+
+    Two MSMs' bucket-reduces run concurrently on the one host CPU —
+    impossible on a serial resource — and the reduce of the second MSM
+    starts before its own GPU stage has finished; the claimed makespan
+    also ignores the late finisher.
+    """
+    gpu = Resource("gpu", GPU_COMPUTE)
+    cpu = Resource("cpu", HOST_CPU)
+    tasks = (
+        Task("msm0:gpu", gpu, 4.0),
+        Task("msm1:gpu", gpu, 4.0),
+        Task("msm0:reduce", cpu, 3.0, deps=("msm0:gpu",)),
+        Task("msm1:reduce", cpu, 3.0, deps=("msm1:gpu",)),
+    )
+    spans = {
+        "msm0:gpu": TaskSpan("msm0:gpu", gpu, 0.0, 4.0),
+        "msm1:gpu": TaskSpan("msm1:gpu", gpu, 4.0, 8.0),
+        "msm0:reduce": TaskSpan("msm0:reduce", cpu, 4.0, 7.0),
+        # overlaps msm0:reduce on the CPU and precedes its own dependency
+        "msm1:reduce": TaskSpan("msm1:reduce", cpu, 5.0, 8.0),
+    }
+    broken = Timeline(tasks=tasks, spans=spans, total_ms=7.0)
+    return verify_timeline(broken, subject="batch of 2 MSMs (double-booked CPU)")
+
+
 #: fixture name -> callable returning a checker result that must FAIL
 FIXTURES = {
     "register-peak": broken_schedule_check,
     "use-before-reload": broken_spill_check,
     "scatter-race": broken_scatter_check,
+    "timeline-overlap": broken_timeline_check,
 }
 
 

@@ -1,0 +1,110 @@
+"""Independent audit of engine schedules (:class:`repro.engine.timeline.Timeline`).
+
+The event-loop in :mod:`repro.engine.timeline` *constructs* schedules; this
+checker re-derives nothing from it — it takes the finished artifact (tasks
+with their dependency edges, plus the claimed spans and makespan) and
+replays the invariants every valid schedule must satisfy:
+
+* every task got exactly one span, with the task's duration;
+* no task starts before every dependency has ended;
+* no resource runs two tasks at once (they are serial units);
+* the claimed makespan equals the latest span end.
+
+Violations use the shared :class:`~repro.verify.report.Violation` record
+with ``checker="timeline"``; ``op`` carries the offending task name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.timeline import TIME_EPS, Timeline
+from repro.verify.report import Violation
+
+
+@dataclass
+class TimelineCheckResult:
+    """Outcome of auditing one schedule."""
+
+    subject: str
+    tasks: int
+    resources: int
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def _add(self, message: str, op: str | None = None, address: str | None = None):
+        self.violations.append(
+            Violation("timeline", self.subject, message, op=op, address=address)
+        )
+
+
+def verify_timeline(
+    timeline: Timeline, subject: str = "timeline", eps: float = TIME_EPS
+) -> TimelineCheckResult:
+    """Audit one scheduled timeline against the schedule invariants."""
+    spans = timeline.spans
+    by_name = {task.name: task for task in timeline.tasks}
+    resources = {span.resource.name for span in spans.values()}
+    result = TimelineCheckResult(subject, tasks=len(timeline.tasks), resources=len(resources))
+
+    # 1. span coverage and durations
+    for name in spans:
+        if name not in by_name:
+            result._add(f"span for unknown task {name!r}", op=name)
+    for task in timeline.tasks:
+        span = spans.get(task.name)
+        if span is None:
+            result._add("task has no span (never scheduled)", op=task.name)
+            continue
+        if span.start_ms < -eps:
+            result._add(f"starts before t=0 (at {span.start_ms})", op=task.name)
+        if abs(span.duration_ms - task.duration_ms) > eps:
+            result._add(
+                f"span duration {span.duration_ms} != task duration "
+                f"{task.duration_ms}",
+                op=task.name,
+            )
+
+    # 2. dependency ordering
+    for task in timeline.tasks:
+        span = spans.get(task.name)
+        if span is None:
+            continue
+        for dep in task.deps:
+            dep_span = spans.get(dep)
+            if dep_span is None:
+                result._add(f"dependency {dep!r} has no span", op=task.name)
+            elif span.start_ms < dep_span.end_ms - eps:
+                result._add(
+                    f"starts at {span.start_ms} before dependency {dep!r} "
+                    f"ends at {dep_span.end_ms}",
+                    op=task.name,
+                )
+
+    # 3. resource exclusivity (serial units)
+    by_resource: dict[str, list] = {}
+    for span in spans.values():
+        by_resource.setdefault(span.resource.name, []).append(span)
+    for res, res_spans in sorted(by_resource.items()):
+        res_spans.sort(key=lambda s: (s.start_ms, s.end_ms, s.task))
+        for prev, cur in zip(res_spans, res_spans[1:]):
+            if cur.start_ms < prev.end_ms - eps:
+                result._add(
+                    f"tasks {prev.task!r} and {cur.task!r} overlap "
+                    f"([{prev.start_ms}, {prev.end_ms}) vs "
+                    f"[{cur.start_ms}, {cur.end_ms}))",
+                    op=cur.task,
+                    address=f"resource:{res}",
+                )
+
+    # 4. makespan claim
+    actual_total = max((s.end_ms for s in spans.values()), default=0.0)
+    if abs(timeline.total_ms - actual_total) > eps:
+        result._add(
+            f"claimed makespan {timeline.total_ms} != latest span end "
+            f"{actual_total}"
+        )
+    return result

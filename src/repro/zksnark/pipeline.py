@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from repro.analysis import paper_data
 from repro.core.distmsm import DistMsm
 from repro.curves.params import curve_by_name
+from repro.engine.resources import GPU_COMPUTE, HOST_CPU, Resource
+from repro.engine.timeline import Task, Timeline, simulate
 from repro.gpu.cluster import MultiGpuSystem
 from repro.zksnark.workloads import ALL_WORKLOADS, WorkloadSpec
 
@@ -46,10 +48,34 @@ class EndToEndEstimate:
     msm_seconds: float
     ntt_seconds: float
     others_seconds: float
+    #: the engine schedule of the proof's stages; its makespan (in ms) is
+    #: ``distmsm_seconds * 1e3``
+    timeline: Timeline | None = None
 
     @property
     def speedup(self) -> float:
         return self.cpu_seconds / self.distmsm_seconds
+
+
+def proof_stage_timeline(
+    msm_seconds: float, ntt_seconds: float, others_seconds: float
+) -> Timeline:
+    """The proof's stage sequence as an engine schedule (times in seconds).
+
+    Groth16 stages are dependent (MSM inputs come from the NTT-extended
+    witness; "others" finalises the proof), so this is a serial chain over
+    the accelerator and host resources — but as engine tasks, so the same
+    totals now carry utilization and critical-path structure.
+    """
+    gpu = Resource("gpu-cluster", GPU_COMPUTE)
+    cpu = Resource("cpu", HOST_CPU)
+    return simulate(
+        [
+            Task("msm", gpu, msm_seconds * 1e3, stage="msm"),
+            Task("ntt", gpu, ntt_seconds * 1e3, deps=("msm",), stage="ntt"),
+            Task("others", cpu, others_seconds * 1e3, deps=("ntt",), stage="others"),
+        ]
+    )
 
 
 def libsnark_cpu_seconds(constraints: int) -> float:
@@ -105,7 +131,10 @@ def estimate_end_to_end(
     else:
         gpu_ntt = cpu_ntt / paper_data.GPU_SPEEDUP_NTT
 
-    total = gpu_msm + gpu_ntt + cpu_others
+    # the serial stage chain on the engine: makespan == gpu_msm + gpu_ntt +
+    # cpu_others (same associativity — the spans accumulate left to right)
+    timeline = proof_stage_timeline(gpu_msm, gpu_ntt, cpu_others)
+    total = timeline.total_ms / 1e3
     return EndToEndEstimate(
         workload=spec.name,
         constraints=constraints,
@@ -114,6 +143,7 @@ def estimate_end_to_end(
         msm_seconds=gpu_msm,
         ntt_seconds=gpu_ntt,
         others_seconds=cpu_others,
+        timeline=timeline,
     )
 
 

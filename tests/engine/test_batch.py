@@ -1,0 +1,82 @@
+"""BatchMsmScheduler: request interleaving over one MultiGpuSystem."""
+
+import pytest
+
+from repro.core.config import DistMsmConfig
+from repro.curves.params import curve_by_name
+from repro.engine import BatchMsmScheduler, MsmRequest
+from repro.engine.resources import HOST_CPU
+from repro.gpu.cluster import MultiGpuSystem
+from repro.verify.timelinecheck import verify_timeline
+
+BLS = curve_by_name("BLS12-381")
+CONFIG = DistMsmConfig(window_size=10)
+
+
+def _requests(count: int, n: int = 1 << 16) -> list:
+    return [MsmRequest(f"req{i}", BLS, n) for i in range(count)]
+
+
+class TestBatchScheduler:
+    def test_empty_batch(self):
+        batch = BatchMsmScheduler(MultiGpuSystem(4), CONFIG).schedule([])
+        assert batch.makespan_ms == 0.0
+        assert batch.serial_ms == 0.0
+        assert batch.completions_ms == []
+        assert batch.speedup == 1.0
+
+    def test_single_request_matches_serial(self):
+        batch = BatchMsmScheduler(MultiGpuSystem(4), CONFIG).schedule(_requests(1))
+        assert batch.makespan_ms == pytest.approx(batch.serial_ms)
+
+    @pytest.mark.parametrize("groups", [1, 2, 4])
+    def test_batching_beats_serial(self, groups):
+        batch = BatchMsmScheduler(
+            MultiGpuSystem(4), CONFIG, gpu_groups=groups
+        ).schedule(_requests(6))
+        assert batch.makespan_ms < batch.serial_ms
+        assert batch.speedup > 1.0
+        assert batch.throughput_rps > 0.0
+
+    def test_completions_cover_every_request(self):
+        batch = BatchMsmScheduler(MultiGpuSystem(4), CONFIG).schedule(_requests(5))
+        assert len(batch.completions_ms) == 5
+        assert max(batch.completions_ms) == pytest.approx(batch.makespan_ms)
+        assert batch.mean_latency_ms <= batch.makespan_ms
+
+    def test_schedule_passes_independent_audit(self):
+        batch = BatchMsmScheduler(
+            MultiGpuSystem(8), CONFIG, gpu_groups=2
+        ).schedule(_requests(4))
+        checked = verify_timeline(batch.timeline, subject="batch under test")
+        assert checked.ok, [str(v) for v in checked.violations]
+
+    def test_cpu_is_shared_across_groups(self):
+        batch = BatchMsmScheduler(
+            MultiGpuSystem(4), CONFIG, gpu_groups=2
+        ).schedule(_requests(4))
+        cpu_spans = [
+            s
+            for s in batch.timeline.spans.values()
+            if s.resource.kind == HOST_CPU
+        ]
+        assert len(cpu_spans) == 4
+        # one CPU: reduces never overlap even though two groups feed it
+        cpu_spans.sort(key=lambda s: s.start_ms)
+        for prev, cur in zip(cpu_spans, cpu_spans[1:]):
+            assert cur.start_ms >= prev.end_ms - 1e-9
+
+    def test_more_groups_raise_overlap_speedup(self):
+        one = BatchMsmScheduler(MultiGpuSystem(8), CONFIG, gpu_groups=1).schedule(
+            _requests(8)
+        )
+        four = BatchMsmScheduler(MultiGpuSystem(8), CONFIG, gpu_groups=4).schedule(
+            _requests(8)
+        )
+        assert four.speedup >= one.speedup
+
+    def test_invalid_group_counts_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            BatchMsmScheduler(MultiGpuSystem(4), CONFIG, gpu_groups=0)
+        with pytest.raises(ValueError, match="at least as many GPUs"):
+            BatchMsmScheduler(MultiGpuSystem(2), CONFIG, gpu_groups=4)

@@ -42,7 +42,8 @@ class TestCleanPass:
 
 class TestInjectedFaults:
     @pytest.mark.parametrize(
-        "fixture", ["register-peak", "use-before-reload", "scatter-race"]
+        "fixture",
+        ["register-peak", "use-before-reload", "scatter-race", "timeline-overlap"],
     )
     def test_fault_is_caught_with_nonzero_exit(self, fixture):
         proc = run_cli("--inject-fault", fixture)
@@ -61,6 +62,11 @@ class TestInjectedFaults:
     def test_scatter_race_diagnostic_names_the_address(self):
         proc = run_cli("--inject-fault", "scatter-race")
         assert "global:bucket_sizes[" in proc.stdout
+
+    def test_timeline_overlap_diagnostic_names_the_resource(self):
+        proc = run_cli("--inject-fault", "timeline-overlap")
+        assert "resource:cpu" in proc.stdout
+        assert "overlap" in proc.stdout
 
     def test_unknown_fixture_is_a_usage_error(self):
         proc = run_cli("--inject-fault", "no-such-fixture")
