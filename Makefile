@@ -10,9 +10,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: ci lint typecheck verify bench-smoke test
+.PHONY: ci lint typecheck verify bench-smoke chaos-smoke test
 
-ci: lint typecheck verify bench-smoke test
+ci: lint typecheck verify bench-smoke chaos-smoke test
 	@echo "ci: all gates passed"
 
 lint:
@@ -38,6 +38,10 @@ verify:
 bench-smoke:
 	@echo "== pipeline-overlap smoke benchmark"
 	@$(PYTHON) benchmarks/bench_pipeline_overlap.py --smoke
+
+chaos-smoke:
+	@echo "== fault-recovery smoke benchmark"
+	@$(PYTHON) benchmarks/bench_fault_recovery.py --smoke
 
 test:
 	@echo "== pytest (tier 1)"

@@ -57,6 +57,13 @@ class DistMsmConfig:
     api: str = "hip"
     #: per-node host coordination overhead added to every MSM (ms)
     node_sync_ms: float = 0.2
+    #: fault handling (repro.faults): retries for transient transfer errors
+    max_retries: int = 3
+    #: base of the exponential backoff between transfer retries (ms)
+    backoff_base_ms: float = 0.5
+    #: heartbeat period of the failure detector (ms); a GPU death is
+    #: noticed at the first heartbeat tick after it happens
+    heartbeat_ms: float = 1.0
 
     def __post_init__(self):
         if self.scatter not in ("hierarchical", "naive"):
@@ -71,3 +78,17 @@ class DistMsmConfig:
             raise ValueError(f"unknown gpu_reduce mode {self.gpu_reduce!r}")
         if self.node_sync_ms < 0:
             raise ValueError(f"node_sync_ms must be >= 0, got {self.node_sync_ms}")
+        if self.threads_per_block < 1:
+            raise ValueError(f"threads_per_block must be >= 1, got {self.threads_per_block}")
+        if self.points_per_thread < 1:
+            raise ValueError(f"points_per_thread must be >= 1, got {self.points_per_thread}")
+        if self.threads_per_bucket_min < 1:
+            raise ValueError(
+                f"threads_per_bucket_min must be >= 1, got {self.threads_per_bucket_min}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_ms <= 0:
+            raise ValueError(f"backoff_base_ms must be > 0, got {self.backoff_base_ms}")
+        if self.heartbeat_ms <= 0:
+            raise ValueError(f"heartbeat_ms must be > 0, got {self.heartbeat_ms}")

@@ -42,7 +42,15 @@ from repro.core.scatter import (
 from repro.curves.params import CurveParams
 from repro.curves.point import AffinePoint
 from repro.curves.scalar import num_windows as window_count
-from repro.engine.timeline import Timeline, simulate
+from repro.engine.faults import FaultPlan, GpuFailure, RetryPolicy, Straggler, TransferError
+from repro.engine.timeline import TIME_EPS, Stage, Task, Timeline, simulate
+from repro.faults.recovery import (
+    FaultRecoveryError,
+    FaultReport,
+    RecoveryRound,
+    detection_time_ms,
+    redistribute_assignments,
+)
 from repro.gpu.cluster import MultiGpuSystem
 from repro.gpu.counters import EventCounters
 from repro.gpu.timing import (
@@ -78,6 +86,10 @@ class DistMsmResult:
     #: the timing decomposition the timeline was built from; feed it to
     #: :func:`repro.core.msm_timeline.build_msm_timeline` for other modes
     breakdown: MsmTimingBreakdown | None = None
+    #: recovery audit of a faulted run (``None`` on fault-free executions);
+    #: when set, ``time_ms`` is the *recovered* makespan and ``timeline``
+    #: is the chunk-granular fault schedule, so ``time_ms != times.total``
+    fault_report: FaultReport | None = None
 
 
 @dataclass
@@ -91,6 +103,30 @@ class _GpuWork:
     active_sum_threads: int = 0
     reduce_threads: int = 0  # all windows' reduces run in one launch
     transfer_points: float = 0.0
+
+
+@dataclass
+class _Chunk:
+    """One (round, gpu) unit of recoverable work in a faulted execution.
+
+    A chunk bundles the assignments one GPU executes in one planning round;
+    it is lost iff its host transfer did not complete (GPU memory dies with
+    the GPU), and re-planned as a whole onto a survivor.  ``slots`` are the
+    indices of the original plan's assignments this chunk covers, so a
+    re-execution replaces exactly the lost cells — no double-accumulation.
+    """
+
+    round: int
+    gpu: int
+    slots: tuple[int, ...]
+    work: _GpuWork
+    phase: GpuPhaseMs
+    not_before_ms: float
+    partials: list  # per-slot backend partials (None on the analytic path)
+
+    @property
+    def transfer_task(self) -> str:
+        return f"msm:r{self.round}:transfer:g{self.gpu}"
 
 
 #: window-size auto-tune results, keyed by (curve, n, gpus, spec, config)
@@ -150,8 +186,15 @@ class DistMsm:
         scalars: list[int],
         points: list[AffinePoint],
         curve: CurveParams,
+        faults: FaultPlan | None = None,
     ) -> DistMsmResult:
-        """Run the full pipeline functionally; returns the exact MSM result."""
+        """Run the full pipeline functionally; returns the exact MSM result.
+
+        With a ``faults`` plan the run is chaos-tested: the engine injects
+        the scheduled failures, the orchestrator detects and re-plans
+        around them, and the result is still bit-exact (plus a
+        :class:`~repro.faults.recovery.FaultReport`).
+        """
         if len(scalars) != len(points):
             raise ValueError(
                 f"length mismatch: {len(scalars)} scalars, {len(points)} points"
@@ -165,14 +208,24 @@ class DistMsm:
             )
         s = self.window_size_for(curve, n)
         backend = FunctionalBackend(self, scalars, points, curve)
+        if faults is not None and not faults.empty:
+            return self._orchestrate_faulty(backend, curve, n, s, faults)
         return self._orchestrate(backend, curve, n, s)
 
-    def estimate(self, curve: CurveParams, n: int) -> DistMsmResult:
-        """Model the execution time for an ``n``-point MSM on this system."""
+    def estimate(
+        self, curve: CurveParams, n: int, faults: FaultPlan | None = None
+    ) -> DistMsmResult:
+        """Model the execution time for an ``n``-point MSM on this system.
+
+        With a ``faults`` plan, models the recovered execution instead and
+        attaches a :class:`~repro.faults.recovery.FaultReport`.
+        """
         if n <= 0:
             raise ValueError("n must be positive")
         s = self.window_size_for(curve, n)
         backend = AnalyticBackend(self, curve, n)
+        if faults is not None and not faults.empty:
+            return self._orchestrate_faulty(backend, curve, n, s, faults)
         return self._orchestrate(backend, curve, n, s)
 
     # -- the one orchestration body -----------------------------------------
@@ -188,24 +241,7 @@ class DistMsm:
         and reduce placement, the timing model, and the timeline emission.
         """
         config = self.config
-        n_win = window_count(curve.scalar_bits, s)
-        total_windows = n_win + (1 if config.signed_digits else 0)
-        buckets_total = self.num_buckets(s)
-        precompute = bool(getattr(config, "precompute", False))
-
-        if precompute:
-            # all windows collapse into one flattened (digit, point) stream
-            backend.prepare_precompute(s, n_win, total_windows)
-            plan = make_plan(
-                1,
-                self.system.num_gpus,
-                "ndim" if config.multi_gpu == "ndim" else "bucket-split",
-            )
-        else:
-            backend.prepare(s, n_win, total_windows)
-            plan = self._plan(total_windows)
-        if backend.functional:
-            self.system.reset_counters()
+        plan, buckets_total, precompute = self._prepare(backend, curve, s)
 
         per_gpu_work = [_GpuWork() for _ in range(self.system.num_gpus)]
         window_partials: dict = {w: [] for w in range(plan.num_windows)}
@@ -279,6 +315,30 @@ class DistMsm:
             breakdown=breakdown,
         )
 
+    def _prepare(
+        self, backend: Backend, curve: CurveParams, s: int
+    ) -> tuple[Plan, int, bool]:
+        """Digit-stream setup + work plan shared by all orchestration paths."""
+        config = self.config
+        n_win = window_count(curve.scalar_bits, s)
+        total_windows = n_win + (1 if config.signed_digits else 0)
+        buckets_total = self.num_buckets(s)
+        precompute = bool(getattr(config, "precompute", False))
+        if precompute:
+            # all windows collapse into one flattened (digit, point) stream
+            backend.prepare_precompute(s, n_win, total_windows)
+            plan = make_plan(
+                1,
+                self.system.num_gpus,
+                "ndim" if config.multi_gpu == "ndim" else "bucket-split",
+            )
+        else:
+            backend.prepare(s, n_win, total_windows)
+            plan = self._plan(total_windows)
+        if backend.functional:
+            self.system.reset_counters()
+        return plan, buckets_total, precompute
+
     def _accumulate_analytic(self, work, n_eff, bucket_share, buckets_total):
         """Add one assignment's expected counts to a GPU's work summary."""
         inserts = n_eff * bucket_share
@@ -306,6 +366,40 @@ class DistMsm:
 
     # -- shared timing -------------------------------------------------------
 
+    def _gpu_phase(
+        self, curve: CurveParams, buckets_total: int, work: _GpuWork
+    ) -> GpuPhaseMs:
+        """Model one GPU's (or one chunk's) per-phase milliseconds."""
+        spec = self.system.spec
+        desc = KernelDescriptor(curve, self.config.kernel_opts)
+        eff = self.config.efficiency
+        api = self.config.api
+        g_scatter = scatter_time_ms(
+            spec,
+            work.scatter,
+            buckets_total,
+            min(spec.concurrent_threads, max(1, work.active_sum_threads or 1)),
+            self.config.threads_per_block,
+        ) / eff
+        g_sum = (
+            ec_ops_time_ms(desc, "pacc", work.sums.pacc, spec, work.active_sum_threads or None, api)
+            + ec_ops_time_ms(desc, "padd", work.sums.padd, spec, work.active_sum_threads or None, api)
+        ) / eff
+        reduce_threads = min(
+            spec.concurrent_threads, work.reduce_threads or buckets_total
+        )
+        g_reduce = (
+            ec_ops_time_ms(desc, "padd", work.reduce.padd, spec, reduce_threads, api)
+            + ec_ops_time_ms(desc, "padd", work.reduce.pdbl, spec, reduce_threads, api)
+        ) / eff
+        point_bytes = 4 * curve.num_limbs * 4  # XYZZ coordinates
+        g_transfer = host_transfer_time_ms(work.transfer_points * point_bytes, spec)
+        g_launch = launch_overhead_ms(
+            work.scatter.kernel_launches + work.sums.kernel_launches + work.reduce.kernel_launches,
+            spec,
+        )
+        return GpuPhaseMs(g_scatter, g_sum, g_reduce, g_transfer, g_launch)
+
     def _timing_breakdown(
         self,
         curve: CurveParams,
@@ -315,40 +409,9 @@ class DistMsm:
         per_gpu_work: list,
         cpu_counters: EventCounters,
     ) -> MsmTimingBreakdown:
-        spec = self.system.spec
-        desc = KernelDescriptor(curve, self.config.kernel_opts)
-        eff = self.config.efficiency
-        api = self.config.api
-
-        per_gpu: list[GpuPhaseMs] = []
-        for work in per_gpu_work:
-            g_scatter = scatter_time_ms(
-                spec,
-                work.scatter,
-                buckets_total,
-                min(spec.concurrent_threads, max(1, work.active_sum_threads or 1)),
-                self.config.threads_per_block,
-            ) / eff
-            g_sum = (
-                ec_ops_time_ms(desc, "pacc", work.sums.pacc, spec, work.active_sum_threads or None, api)
-                + ec_ops_time_ms(desc, "padd", work.sums.padd, spec, work.active_sum_threads or None, api)
-            ) / eff
-            reduce_threads = min(
-                spec.concurrent_threads, work.reduce_threads or buckets_total
-            )
-            g_reduce = (
-                ec_ops_time_ms(desc, "padd", work.reduce.padd, spec, reduce_threads, api)
-                + ec_ops_time_ms(desc, "padd", work.reduce.pdbl, spec, reduce_threads, api)
-            ) / eff
-            point_bytes = 4 * curve.num_limbs * 4  # XYZZ coordinates
-            g_transfer = host_transfer_time_ms(work.transfer_points * point_bytes, spec)
-            g_launch = launch_overhead_ms(
-                work.scatter.kernel_launches + work.sums.kernel_launches + work.reduce.kernel_launches,
-                spec,
-            )
-            per_gpu.append(
-                GpuPhaseMs(g_scatter, g_sum, g_reduce, g_transfer, g_launch)
-            )
+        per_gpu = [
+            self._gpu_phase(curve, buckets_total, work) for work in per_gpu_work
+        ]
 
         cpu_rate = self.system.cpu_padd_rate()
         cpu_reduce_ms = cpu_ec_time_ms(cpu_counters.cpu_padd, 0, cpu_rate)
@@ -371,4 +434,340 @@ class DistMsm:
             window_reduce_ms=window_reduce_ms,
             coordination_ms=coordination_ms,
             num_windows=plan.num_windows,
+        )
+
+    # -- fault injection and recovery (DESIGN.md §9) -------------------------
+
+    def _validate_fault_plan(self, faults: FaultPlan) -> None:
+        """Reject plans addressing resources this system does not have."""
+        num = self.system.num_gpus
+        nodes = self.system.nodes
+        dead: set[int] = set()
+        for event in faults.events:
+            if isinstance(event, (GpuFailure, Straggler)) and event.gpu_id >= num:
+                raise ValueError(
+                    f"fault targets gpu {event.gpu_id}, system has {num} GPUs"
+                )
+            if isinstance(event, TransferError) and event.node >= nodes:
+                raise ValueError(
+                    f"fault targets node {event.node}, system has {nodes} node(s)"
+                )
+            if isinstance(event, GpuFailure):
+                dead.add(event.gpu_id)
+        if len(dead) >= num:
+            raise FaultRecoveryError(
+                "fault plan kills every GPU; no survivor to recover onto"
+            )
+
+    def _charge_chunk_reduce(
+        self, work: _GpuWork, assignments: list, buckets_total: int, s: int
+    ) -> None:
+        """GPU bucket-reduce cost of one chunk (bucket_reduce_on_cpu=False).
+
+        Charged chunk-locally by bucket share — each GPU reduces the bucket
+        slice it owns — which matches the owner-split charging of the
+        fault-free path for even bucket splits.
+        """
+        counts = gpu_bucket_reduce_counts(
+            buckets_total, s, self.system.concurrent_threads_per_gpu,
+            self.config.gpu_reduce,
+        )
+        for a in assignments:
+            share = counts if self.config.multi_gpu == "ndim" else counts.scaled(a.bucket_share)
+            work.reduce.merge(share)
+            work.reduce_threads += min(
+                buckets_total, self.system.concurrent_threads_per_gpu
+            )
+
+    def _chunk_tasks(self, chunks: list[_Chunk], resources) -> list[Task]:
+        """The recoverable task graph: scatter -> sum [-> reduce] -> transfer
+        per chunk, with the transfer requiring the producing GPU alive."""
+        tasks: list[Task] = []
+        for c in chunks:
+            gpu_res = resources.gpu(c.gpu)
+            prefix = f"msm:r{c.round}"
+            stage = f"round{c.round}"
+            scatter = f"{prefix}:scatter:g{c.gpu}"
+            tasks.append(
+                Task(scatter, gpu_res, c.phase.scatter + c.phase.launch,
+                     (), stage, c.not_before_ms)
+            )
+            last = f"{prefix}:sum:g{c.gpu}"
+            tasks.append(
+                Task(last, gpu_res, c.phase.bucket_sum, (scatter,), stage,
+                     c.not_before_ms)
+            )
+            if c.phase.reduce > 0:
+                reduce_name = f"{prefix}:reduce:g{c.gpu}"
+                tasks.append(
+                    Task(reduce_name, gpu_res, c.phase.reduce, (last,), stage,
+                         c.not_before_ms)
+                )
+                last = reduce_name
+            tasks.append(
+                Task(c.transfer_task, resources.channel_for_gpu(c.gpu),
+                     c.phase.transfer, (last,), stage, c.not_before_ms,
+                     (gpu_res.name,))
+            )
+        return tasks
+
+    @staticmethod
+    def _fault_stages(chunks: list[_Chunk], extra: tuple[str, ...] = ()) -> tuple[Stage, ...]:
+        by_round: dict[int, list[str]] = {}
+        for c in chunks:
+            names = by_round.setdefault(c.round, [])
+            prefix = f"msm:r{c.round}"
+            names.append(f"{prefix}:scatter:g{c.gpu}")
+            names.append(f"{prefix}:sum:g{c.gpu}")
+            if c.phase.reduce > 0:
+                names.append(f"{prefix}:reduce:g{c.gpu}")
+            names.append(c.transfer_task)
+        stages = [
+            Stage(f"round{r}", tuple(by_round[r])) for r in sorted(by_round)
+        ]
+        if extra:
+            stages.append(Stage("host", extra))
+        return tuple(stages)
+
+    def _orchestrate_faulty(
+        self, backend: Backend, curve: CurveParams, n: int, s: int,
+        faults: FaultPlan,
+    ) -> DistMsmResult:
+        """Plan, inject the fault schedule, detect, re-plan, stay bit-exact.
+
+        Work is tracked in chunks (one per round and GPU).  A chunk is lost
+        iff its host transfer never completed — GPU memory dies with the
+        GPU — and its assignment *slots* are then redistributed over the
+        surviving GPUs at the same window size ``s`` (partial bucket sums
+        are ``s``-bound).  The loop re-simulates until every slot is
+        covered by exactly one delivered execution; duplicate deliveries
+        (a presumed-lost transfer that still lands) are discarded by slot,
+        so the combine consumes each (window, bucket-range) cell once and
+        the functional result stays bit-exact.
+        """
+        config = self.config
+        self._validate_fault_plan(faults)
+        plan, buckets_total, precompute = self._prepare(backend, curve, s)
+        use_cpu_reduce = config.bucket_reduce_on_cpu or precompute
+        retry = RetryPolicy(config.max_retries, config.backoff_base_ms)
+        resources = self.system.resources()
+        gpu_deaths = faults.gpu_death_times()
+        num_slots = len(plan.assignments)
+
+        chunks: list[_Chunk] = []
+
+        def run_chunk(
+            rnd: int, gpu: int, slot_ids: list[int], assignments: list,
+            not_before: float,
+        ) -> None:
+            work = _GpuWork()
+            partials = [
+                backend.run_assignment(work, a, buckets_total) for a in assignments
+            ]
+            if not use_cpu_reduce:
+                self._charge_chunk_reduce(work, assignments, buckets_total, s)
+            work.transfer_points = work.buckets_touched
+            phase = self._gpu_phase(curve, buckets_total, work)
+            chunks.append(
+                _Chunk(rnd, gpu, tuple(slot_ids), work, phase, not_before, partials)
+            )
+
+        by_gpu: dict[int, list[int]] = {}
+        for i, a in enumerate(plan.assignments):
+            by_gpu.setdefault(a.gpu, []).append(i)
+        for g in sorted(by_gpu):
+            run_chunk(0, g, by_gpu[g], [plan.assignments[i] for i in by_gpu[g]], 0.0)
+
+        rounds: list[RecoveryRound] = [
+            RecoveryRound(0, tuple(sorted(by_gpu)), (), (), 0.0, 0.0)
+        ]
+        transfer_victims: set[int] = set()
+
+        def latest_copy(slot: int) -> _Chunk:
+            return next(c for c in reversed(chunks) if slot in c.slots)
+
+        timeline: Timeline | None = None
+        max_rounds = len(faults.events) + self.system.num_gpus + 2
+        for _ in range(max_rounds):
+            timeline = simulate(self._chunk_tasks(chunks, resources), (), faults, retry)
+            uncovered = {
+                slot
+                for slot in range(num_slots)
+                if not any(
+                    slot in c.slots and c.transfer_task in timeline.spans
+                    for c in chunks
+                )
+            }
+            if not uncovered:
+                break
+            for f in timeline.failures:
+                if f.reason == "transfer-error":
+                    transfer_victims.add(int(f.task.rsplit(":g", 1)[1]))
+            lost = {(c.round, c.gpu): c for c in map(latest_copy, uncovered)}
+            trigger = max(
+                timeline.failure_for(c.transfer_task).at_ms  # type: ignore[union-attr]
+                for c in lost.values()
+            )
+            detect = detection_time_ms(trigger, config.heartbeat_ms)
+            dead_known = {
+                g for g, t in gpu_deaths.items()
+                if detection_time_ms(t, config.heartbeat_ms) <= detect + TIME_EPS
+            }
+            survivors = [
+                g for g in range(self.system.num_gpus)
+                if g not in dead_known and g not in transfer_victims
+            ]
+            if not survivors:
+                survivors = [
+                    g for g in range(self.system.num_gpus) if g not in dead_known
+                ]
+            if not survivors:
+                raise FaultRecoveryError("every GPU failed before recovery completed")
+            slot_ids = sorted(uncovered)
+            moved = redistribute_assignments(
+                [plan.assignments[i] for i in slot_ids], survivors
+            )
+            rnd = rounds[-1].round + 1
+            regroup: dict[int, tuple[list[int], list]] = {}
+            for slot, a in zip(slot_ids, moved):
+                slots_g, assigns_g = regroup.setdefault(a.gpu, ([], []))
+                slots_g.append(slot)
+                assigns_g.append(a)
+            for g in sorted(regroup):
+                run_chunk(rnd, g, regroup[g][0], regroup[g][1], detect)
+            rounds.append(
+                RecoveryRound(
+                    rnd,
+                    tuple(sorted(regroup)),
+                    tuple(sorted({c.gpu for c in lost.values()})),
+                    tuple(sorted(lost)),
+                    detect,
+                    detect,
+                )
+            )
+        else:
+            raise FaultRecoveryError(
+                f"recovery did not converge within {max_rounds} re-plans"
+            )
+        assert timeline is not None
+
+        # exactly one delivered execution per slot (earliest round wins)
+        live: dict[int, tuple[_Chunk, object]] = {}
+        for c in chunks:
+            if c.transfer_task in timeline.spans:
+                for slot, partial in zip(c.slots, c.partials):
+                    live.setdefault(slot, (c, partial))
+
+        cpu_counters = EventCounters()
+        window_slots: dict[int, list[int]] = {w: [] for w in range(plan.num_windows)}
+        for i, a in enumerate(plan.assignments):
+            window_slots[a.window].append(i)
+        window_results = []
+        for w in range(plan.num_windows):
+            partials = [(plan.assignments[i], live[i][1]) for i in window_slots[w]]
+            combined, merge_padds = backend.combine_window(w, partials, buckets_total)
+            cpu_counters.cpu_padd += merge_padds
+            if use_cpu_reduce:
+                counts, reduced = backend.cpu_reduce_window(combined, buckets_total)
+                cpu_counters.merge(counts)
+            else:
+                reduced = backend.reduce_value(combined)
+            window_results.append(reduced)
+        if precompute:
+            wr_counts, point = backend.finalize_precompute(window_results)
+        else:
+            wr_counts, point = backend.window_reduce(window_results)
+        cpu_counters.merge(wr_counts)
+
+        # the host tail (combine + reduce + coordination), honest, unpipelined
+        cpu_rate = self.system.cpu_padd_rate()
+        cpu_ms = (
+            cpu_ec_time_ms(cpu_counters.cpu_padd, cpu_counters.cpu_pdbl, cpu_rate)
+            + config.node_sync_ms * self.system.nodes
+        )
+        live_transfers = tuple(
+            sorted({c.transfer_task for c, _ in live.values()})
+        )
+        cpu_task = Task("msm:host-reduce", resources.cpu, cpu_ms, live_transfers, "host")
+        final_tasks = self._chunk_tasks(chunks, resources) + [cpu_task]
+        timeline = simulate(
+            final_tasks,
+            self._fault_stages(chunks, ("msm:host-reduce",)),
+            faults,
+            retry,
+        )
+
+        # fault-free baseline on the same task-graph model (round 0 only)
+        round0 = [c for c in chunks if c.round == 0]
+        base_cpu = Task(
+            "msm:host-reduce", resources.cpu, cpu_ms,
+            tuple(sorted(c.transfer_task for c in round0)), "host",
+        )
+        baseline = simulate(
+            self._chunk_tasks(round0, resources) + [base_cpu],
+            self._fault_stages(round0, ("msm:host-reduce",)),
+        )
+
+        recovered_ms = timeline.total_ms
+        dead = tuple(
+            sorted(g for g, t in gpu_deaths.items() if t <= recovered_ms + TIME_EPS)
+        )
+        surviving = tuple(
+            g for g in range(self.system.num_gpus) if g not in dead
+        )
+        if dead and config.window_size is None:
+            probe = DistMsm(
+                MultiGpuSystem(
+                    len(surviving), self.system.spec, self.system.cpu,
+                    self.system.gpus_per_node,
+                ),
+                config,
+            )
+            replanned = probe.window_size_for(curve, n)
+        else:
+            replanned = s
+        report = FaultReport(
+            plan=faults,
+            rounds=tuple(rounds),
+            dead_gpus=dead,
+            surviving_gpus=surviving,
+            fault_free_ms=baseline.total_ms,
+            recovered_ms=recovered_ms,
+            window_size=s,
+            replanned_window_size=replanned,
+            retries=len(timeline.attempts),
+        )
+
+        per_gpu_work = [_GpuWork() for _ in range(self.system.num_gpus)]
+        for c in chunks:
+            agg = per_gpu_work[c.gpu]
+            agg.scatter.merge(c.work.scatter)
+            agg.sums.merge(c.work.sums)
+            agg.reduce.merge(c.work.reduce)
+            agg.buckets_touched += c.work.buckets_touched
+            agg.active_sum_threads = max(
+                agg.active_sum_threads, c.work.active_sum_threads
+            )
+            agg.reduce_threads += c.work.reduce_threads
+            agg.transfer_points += c.work.transfer_points
+        breakdown = self._timing_breakdown(
+            curve, s, buckets_total, plan, per_gpu_work, cpu_counters
+        )
+        total_counters = EventCounters()
+        for work in per_gpu_work:
+            total_counters.merge(work.scatter)
+            total_counters.merge(work.sums)
+            total_counters.merge(work.reduce)
+        total_counters.merge(cpu_counters)
+        return DistMsmResult(
+            point=point,
+            time_ms=recovered_ms,
+            times=breakdown.phase_times(),
+            counters=total_counters,
+            window_size=s,
+            plan=plan,
+            per_gpu_counters=[w.scatter for w in per_gpu_work],
+            timeline=timeline,
+            breakdown=breakdown,
+            fault_report=report,
         )

@@ -18,8 +18,21 @@ Core pieces:
   construction with barrier stages.
 * :class:`~repro.engine.batch.BatchMsmScheduler` — multiple MSMs, one
   cluster, pipelined bucket-reduces.
+* :class:`~repro.engine.faults.FaultPlan` and its typed events
+  (:class:`GpuFailure` / :class:`Straggler` / :class:`TransferError`) —
+  deterministic chaos schedules consumed by :func:`simulate`.
 """
 
+from repro.engine.faults import (
+    FaultEvent,
+    FaultPlan,
+    GpuFailure,
+    RetryPolicy,
+    Straggler,
+    TransferError,
+    channel_resource_name,
+    gpu_resource_name,
+)
 from repro.engine.resources import (
     GPU_COMPUTE,
     HOST_CPU,
@@ -31,6 +44,8 @@ from repro.engine.resources import (
 from repro.engine.timeline import (
     Stage,
     Task,
+    TaskAttempt,
+    TaskFailure,
     TaskSpan,
     Timeline,
     TimelineBuilder,
@@ -47,6 +62,8 @@ __all__ = [
     "system_resources",
     "Stage",
     "Task",
+    "TaskAttempt",
+    "TaskFailure",
     "TaskSpan",
     "Timeline",
     "TimelineBuilder",
@@ -54,4 +71,12 @@ __all__ = [
     "BatchMsmScheduler",
     "BatchSchedule",
     "MsmRequest",
+    "FaultEvent",
+    "FaultPlan",
+    "GpuFailure",
+    "RetryPolicy",
+    "Straggler",
+    "TransferError",
+    "channel_resource_name",
+    "gpu_resource_name",
 ]

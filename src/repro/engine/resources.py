@@ -53,23 +53,26 @@ class SystemResources:
     gpus: tuple[Resource, ...]
     channels: tuple[Resource, ...]
     cpu: Resource
+    gpus_per_node: int = GPUS_PER_NODE
 
     def gpu(self, i: int) -> Resource:
         return self.gpus[i]
 
     def channel_for_gpu(self, i: int) -> Resource:
         """The transfer channel (per-node host link) GPU ``i`` uses."""
-        return self.channels[i // GPUS_PER_NODE]
+        return self.channels[i // self.gpus_per_node]
 
     def all(self) -> tuple[Resource, ...]:
         return self.gpus + self.channels + (self.cpu,)
 
 
-def system_resources(num_gpus: int) -> SystemResources:
+def system_resources(num_gpus: int, gpus_per_node: int = GPUS_PER_NODE) -> SystemResources:
     """Build the standard resource set for an ``num_gpus``-GPU cluster."""
     if num_gpus <= 0:
         raise ValueError(f"need at least one GPU, got {num_gpus}")
-    nodes = -(-num_gpus // GPUS_PER_NODE)
+    if gpus_per_node <= 0:
+        raise ValueError(f"need at least one GPU per node, got {gpus_per_node}")
+    nodes = -(-num_gpus // gpus_per_node)
     return SystemResources(
         gpus=tuple(
             Resource(f"gpu{i}", GPU_COMPUTE, index=i) for i in range(num_gpus)
@@ -78,4 +81,5 @@ def system_resources(num_gpus: int) -> SystemResources:
             Resource(f"node{j}-link", TRANSFER, index=j) for j in range(nodes)
         ),
         cpu=Resource("cpu", HOST_CPU),
+        gpus_per_node=gpus_per_node,
     )

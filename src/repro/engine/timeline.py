@@ -6,7 +6,8 @@ shop in ``core.multi_msm``, and the Amdahl split in ``zksnark.pipeline``).
 Producers *emit tasks* — a name, a :class:`~repro.engine.resources.Resource`,
 a duration, dependency edges — and :func:`simulate` schedules them:
 
-* a task becomes *ready* when all its dependencies have finished;
+* a task becomes *ready* when all its dependencies have finished (and its
+  ``not_before_ms`` release time has passed);
 * each resource executes one task at a time, FIFO in readiness order
   (ties broken by submission order), like an in-order CUDA stream;
 * the loop always dispatches the ready task with the smallest
@@ -15,6 +16,17 @@ a duration, dependency edges — and :func:`simulate` schedules them:
 The resulting :class:`Timeline` carries per-task spans, per-resource
 utilization, and the critical path — the quantities Figs. 8/9 and the
 §3.2.3 pipelining argument are really about.
+
+Fault injection (:mod:`repro.engine.faults`): ``simulate`` optionally takes
+a :class:`~repro.engine.faults.FaultPlan`.  Stragglers stretch task
+durations on their resource; a dead resource kills its running task and
+refuses everything after its failure time (tasks *requiring* a dead
+resource — ``Task.requires_alive`` — die with it); transient transfer
+errors fail the in-flight attempt and re-queue it under the
+:class:`~repro.engine.faults.RetryPolicy`'s exponential backoff.  Failed
+tasks cascade to their dependants, and every failure/retry is recorded on
+the timeline (:class:`TaskFailure` / :class:`TaskAttempt`) so independent
+checkers can audit the recovery — nothing is silently dropped.
 """
 
 from __future__ import annotations
@@ -22,6 +34,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from repro.engine.faults import FaultPlan, RetryPolicy, TransferError
 from repro.engine.resources import Resource
 
 #: scheduling/verification tolerance for time comparisons (milliseconds)
@@ -44,6 +57,13 @@ class Task:
         Names of tasks that must finish before this one may start.
     stage:
         Optional grouping label (pipeline phase) for reporting.
+    not_before_ms:
+        Earliest permitted start (release time) — how recovery rounds are
+        pinned after a failure's detection heartbeat.
+    requires_alive:
+        Resource names (beyond the executing resource) that must stay
+        alive through the task — a device-to-host copy requires the source
+        GPU's memory, so the copy dies with the GPU.
     """
 
     name: str
@@ -51,11 +71,17 @@ class Task:
     duration_ms: float
     deps: tuple[str, ...] = ()
     stage: str = ""
+    not_before_ms: float = 0.0
+    requires_alive: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.duration_ms < 0:
             raise ValueError(
                 f"task {self.name!r}: negative duration {self.duration_ms}"
+            )
+        if self.not_before_ms < 0:
+            raise ValueError(
+                f"task {self.name!r}: negative release time {self.not_before_ms}"
             )
 
 
@@ -82,14 +108,52 @@ class TaskSpan:
         return self.end_ms - self.start_ms
 
 
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that did not complete, and why.
+
+    ``reason`` is one of ``"killed"`` (resource died mid-task),
+    ``"resource-dead"`` (a needed resource was already dead at dispatch),
+    ``"transfer-error"`` (permanent transfer fault, or retries exhausted),
+    or ``"dep-failed"`` (a dependency failed, so this task can never run).
+    ``start_ms`` is the aborted attempt's start, ``None`` if it never ran.
+    """
+
+    task: str
+    resource: Resource
+    at_ms: float
+    reason: str
+    start_ms: float | None = None
+    attempt: int = 1
+
+
+@dataclass(frozen=True)
+class TaskAttempt:
+    """A failed-but-retried occupation of a resource (transient fault).
+
+    The attempt held ``resource`` over ``[start_ms, end_ms)`` before the
+    fault bit; the retry was released at ``retry_at_ms`` (failure time plus
+    the policy's exponential backoff).
+    """
+
+    task: str
+    resource: Resource
+    start_ms: float
+    end_ms: float
+    attempt: int
+    retry_at_ms: float
+
+
 @dataclass
 class Timeline:
     """A fully scheduled task graph.
 
     ``spans`` maps task name to its interval; ``total_ms`` is the makespan
-    (max end over all spans, 0 for an empty timeline).  The original tasks
-    (with their dependency edges) are retained so independent checkers
-    (:mod:`repro.verify.timelinecheck`) can audit the schedule without
+    (max end over all spans, *aborted work included* — failed attempts and
+    failure times count, so a chaos run's accounting stays honest; 0 for an
+    empty timeline).  The original tasks (with their dependency edges) are
+    retained so independent checkers (:mod:`repro.verify.timelinecheck`,
+    :mod:`repro.verify.faultcheck`) can audit the schedule without
     re-running the simulator.
     """
 
@@ -100,9 +164,34 @@ class Timeline:
     #: task name -> the predecessor (dependency or resource queue) that
     #: determined its start time; roots map to None
     binding: dict[str, str | None] = field(default_factory=dict)
+    #: tasks that never completed (fault injection only; empty otherwise)
+    failures: tuple[TaskFailure, ...] = ()
+    #: failed-but-retried attempts (transient transfer errors)
+    attempts: tuple[TaskAttempt, ...] = ()
 
     def span(self, task: str) -> TaskSpan:
         return self.spans[task]
+
+    @property
+    def ok(self) -> bool:
+        """True when every task completed (no fault losses)."""
+        return not self.failures
+
+    def failure_for(self, task: str) -> TaskFailure | None:
+        """The terminal failure of ``task``, if it did not complete."""
+        for failure in self.failures:
+            if failure.task == task:
+                return failure
+        return None
+
+    def attempts_for(self, task: str) -> tuple[TaskAttempt, ...]:
+        """The failed-but-retried attempts of ``task``, in attempt order."""
+        return tuple(
+            sorted(
+                (a for a in self.attempts if a.task == task),
+                key=lambda a: a.attempt,
+            )
+        )
 
     def busy_ms(self) -> dict[str, float]:
         """Total busy time per resource name."""
@@ -169,8 +258,20 @@ class Timeline:
         return "\n".join(lines)
 
 
-def simulate(tasks: list[Task] | tuple[Task, ...], stages: tuple[Stage, ...] = ()) -> Timeline:
-    """Schedule ``tasks`` over their resources; deterministic event loop."""
+def simulate(
+    tasks: list[Task] | tuple[Task, ...],
+    stages: tuple[Stage, ...] = (),
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+) -> Timeline:
+    """Schedule ``tasks`` over their resources; deterministic event loop.
+
+    With a :class:`~repro.engine.faults.FaultPlan`, the loop additionally
+    kills tasks on dead resources, stretches straggler durations, and
+    retries transient transfer errors under ``retry`` (defaults to
+    ``RetryPolicy()``); the returned timeline then carries ``failures``
+    and ``attempts`` alongside the completed spans.
+    """
     task_list = tuple(tasks)
     by_name: dict[str, Task] = {}
     for task in task_list:
@@ -183,6 +284,14 @@ def simulate(tasks: list[Task] | tuple[Task, ...], stages: tuple[Stage, ...] = (
             if dep not in by_name:
                 raise ValueError(f"task {task.name!r} depends on unknown {dep!r}")
 
+    deaths: dict[str, float] = faults.death_times() if faults is not None else {}
+    slowdowns: dict[str, float] = faults.slowdowns() if faults is not None else {}
+    #: per-resource consumable queues of transfer-error events (time order)
+    pending_errors: dict[str, list[TransferError]] = (
+        faults.transfer_errors() if faults is not None else {}
+    )
+    policy = retry if retry is not None else RetryPolicy()
+
     remaining = {task.name: len(set(task.deps)) for task in task_list}
     dependants: dict[str, list[str]] = {task.name: [] for task in task_list}
     for task in task_list:
@@ -191,7 +300,9 @@ def simulate(tasks: list[Task] | tuple[Task, ...], stages: tuple[Stage, ...] = (
 
     #: (ready_time, submission index, name) — the dispatch priority
     ready: list[tuple[float, int, str]] = [
-        (0.0, order[name], name) for name, n in remaining.items() if n == 0
+        (by_name[name].not_before_ms, order[name], name)
+        for name, n in remaining.items()
+        if n == 0
     ]
     heapq.heapify(ready)
 
@@ -200,14 +311,84 @@ def simulate(tasks: list[Task] | tuple[Task, ...], stages: tuple[Stage, ...] = (
     ends: dict[str, float] = {}
     spans: dict[str, TaskSpan] = {}
     binding: dict[str, str | None] = {}
+    failures: list[TaskFailure] = []
+    failed: set[str] = set()
+    attempts: list[TaskAttempt] = []
+    attempt_no: dict[str, int] = {}
     done = 0
+
+    def fail_task(name: str, at: float, reason: str, start: float | None) -> None:
+        """Record a terminal failure and cascade it to all dependants."""
+        stack: list[tuple[str, float, str, float | None]] = [(name, at, reason, start)]
+        while stack:
+            task_name, at_ms, why, started = stack.pop()
+            if task_name in failed or task_name in spans:
+                continue
+            failed.add(task_name)
+            failures.append(
+                TaskFailure(
+                    task_name,
+                    by_name[task_name].resource,
+                    at_ms,
+                    why,
+                    started,
+                    attempt_no.get(task_name, 1),
+                )
+            )
+            for child in dependants[task_name]:
+                stack.append((child, at_ms, "dep-failed", None))
 
     while ready:
         ready_time, _, name = heapq.heappop(ready)
+        if name in failed:
+            continue
         task = by_name[name]
         res = task.resource.name
         res_free = free.get(res, 0.0)
         start = max(ready_time, res_free)
+        duration = task.duration_ms * slowdowns.get(res, 1.0)
+
+        # fail-stop hazards: the executing resource plus every co-required one
+        involved = (res, *task.requires_alive)
+        dead_already = [
+            (deaths[r], r) for r in involved if r in deaths and deaths[r] <= start + TIME_EPS
+        ]
+        if dead_already:
+            at_ms, _victim = min(dead_already)
+            fail_task(name, at_ms, "resource-dead", None)
+            continue
+        kill_at = min((deaths[r] for r in involved if r in deaths), default=float("inf"))
+        end = start + duration
+
+        # earliest transfer-error event landing inside this attempt
+        hit: TransferError | None = None
+        queue = pending_errors.get(res)
+        if queue:
+            for event in queue:
+                if event.at_ms >= end - TIME_EPS:
+                    break
+                if event.at_ms >= start - TIME_EPS:
+                    hit = event
+                    break
+        if hit is not None and hit.at_ms <= kill_at:
+            queue.remove(hit)  # type: ignore[union-attr]
+            k = attempt_no.get(name, 1)
+            free[res] = hit.at_ms
+            queue_tail[res] = name
+            if hit.transient and k <= policy.max_retries:
+                retry_at = hit.at_ms + policy.delay_ms(k)
+                attempts.append(TaskAttempt(name, task.resource, start, hit.at_ms, k, retry_at))
+                attempt_no[name] = k + 1
+                heapq.heappush(ready, (retry_at, order[name], name))
+            else:
+                fail_task(name, hit.at_ms, "transfer-error", start)
+            continue
+
+        if kill_at < end - TIME_EPS:  # the resource dies mid-task
+            free[res] = kill_at
+            queue_tail[res] = name
+            fail_task(name, kill_at, "killed", start)
+            continue
 
         # what gated the start: the resource queue, or the latest dependency
         gate: str | None = None
@@ -219,7 +400,6 @@ def simulate(tasks: list[Task] | tuple[Task, ...], stages: tuple[Stage, ...] = (
             gate = queue_tail[res]
         binding[name] = gate
 
-        end = start + task.duration_ms
         free[res] = end
         queue_tail[res] = name
         ends[name] = end
@@ -228,18 +408,26 @@ def simulate(tasks: list[Task] | tuple[Task, ...], stages: tuple[Stage, ...] = (
 
         for child in dependants[name]:
             remaining[child] -= 1
-            if remaining[child] == 0:
+            if remaining[child] == 0 and child not in failed:
                 child_ready = max(
-                    (ends[d] for d in by_name[child].deps), default=0.0
+                    max((ends[d] for d in by_name[child].deps), default=0.0),
+                    by_name[child].not_before_ms,
                 )
                 heapq.heappush(ready, (child_ready, order[child], child))
 
-    if done != len(task_list):
-        stuck = sorted(n for n, k in remaining.items() if k > 0)
+    if done + len(failed) != len(task_list):
+        stuck = sorted(n for n in remaining if n not in spans and n not in failed)
         raise ValueError(f"dependency cycle among tasks: {', '.join(stuck)}")
 
-    total = max((s.end_ms for s in spans.values()), default=0.0)
-    return Timeline(task_list, spans, total, stages, binding)
+    total = max(
+        (
+            *(s.end_ms for s in spans.values()),
+            *(f.at_ms for f in failures),
+            *(a.end_ms for a in attempts),
+        ),
+        default=0.0,
+    )
+    return Timeline(task_list, spans, total, stages, binding, tuple(failures), tuple(attempts))
 
 
 class TimelineBuilder:
@@ -265,13 +453,17 @@ class TimelineBuilder:
         duration_ms: float,
         deps: tuple[str, ...] = (),
         stage: str | None = None,
+        not_before_ms: float = 0.0,
+        requires_alive: tuple[str, ...] = (),
     ) -> str:
         """Register a task; inside a barrier stage, barrier deps are added."""
         label = stage if stage is not None else (self._stage_name or "")
         all_deps = deps
         if self._stage_name is not None and stage is None:
             all_deps = tuple(dict.fromkeys(deps + self._prev_stage_tasks))
-        self._tasks.append(Task(name, resource, duration_ms, all_deps, label))
+        self._tasks.append(
+            Task(name, resource, duration_ms, all_deps, label, not_before_ms, requires_alive)
+        )
         if self._stage_name is not None and stage is None:
             self._stage_tasks.append(name)
         return name
@@ -288,7 +480,9 @@ class TimelineBuilder:
                 self._prev_stage_tasks = tuple(self._stage_tasks)
         self._stage_tasks = []
 
-    def build(self) -> Timeline:
+    def build(
+        self, faults: FaultPlan | None = None, retry: RetryPolicy | None = None
+    ) -> Timeline:
         self._close_stage()
         self._stage_name = None
-        return simulate(self._tasks, tuple(self._stages))
+        return simulate(self._tasks, tuple(self._stages), faults, retry)

@@ -1,0 +1,59 @@
+"""repro.faults — deterministic fault injection and recovery policy.
+
+The chaos layer of the reproduction (ROADMAP: production-scale robustness;
+ZKProphet's observation that real ZKP-on-GPU deployments are dominated by
+tail and failure effects rather than mean kernel time).  Three pieces:
+
+* **Event types** (re-exported from :mod:`repro.engine.faults`, where the
+  timeline simulator consumes them): :class:`GpuFailure`,
+  :class:`Straggler`, :class:`TransferError`, bundled into a validated
+  :class:`FaultPlan`, plus the :class:`RetryPolicy` governing transient
+  transfer-error retries.
+* **Recovery policy** (:mod:`repro.faults.recovery`): heartbeat-style
+  detection times, redistribution of a dead GPU's assignments over the
+  survivors, and the :class:`FaultReport` the orchestrator attaches to a
+  recovered :class:`~repro.core.distmsm.DistMsmResult`.
+* **Chaos generation** (:mod:`repro.faults.chaos`):
+  :func:`random_fault_plan` derives a reproducible fault schedule from a
+  seed — the property-test and benchmark entry point.
+
+The orchestration itself lives in :meth:`repro.core.distmsm.DistMsm
+.execute` / ``estimate`` (``faults=`` keyword); the independent audit in
+:mod:`repro.verify.faultcheck`.
+"""
+
+from repro.engine.faults import (
+    FaultEvent,
+    FaultPlan,
+    GpuFailure,
+    RetryPolicy,
+    Straggler,
+    TransferError,
+    channel_resource_name,
+    gpu_resource_name,
+)
+from repro.faults.chaos import random_fault_plan
+from repro.faults.recovery import (
+    FaultRecoveryError,
+    FaultReport,
+    RecoveryRound,
+    detection_time_ms,
+    redistribute_assignments,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "GpuFailure",
+    "RetryPolicy",
+    "Straggler",
+    "TransferError",
+    "channel_resource_name",
+    "gpu_resource_name",
+    "FaultRecoveryError",
+    "FaultReport",
+    "RecoveryRound",
+    "detection_time_ms",
+    "redistribute_assignments",
+    "random_fault_plan",
+]

@@ -1,0 +1,70 @@
+"""Seeded chaos: reproducible random fault plans.
+
+``random_fault_plan(seed, num_gpus, horizon_ms)`` is the single entry point
+the property tests and the recovery benchmark use: the same seed always
+yields the same :class:`~repro.engine.faults.FaultPlan`, so every chaos run
+— and every failure it uncovers — is replayable from one integer.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.faults import (
+    FaultEvent,
+    FaultPlan,
+    GpuFailure,
+    Straggler,
+    TransferError,
+)
+
+
+def random_fault_plan(
+    seed: int,
+    num_gpus: int,
+    horizon_ms: float,
+    gpus_per_node: int = 8,
+    max_gpu_failures: int | None = None,
+    straggler_probability: float = 0.3,
+    transfer_error_probability: float = 0.5,
+    max_slowdown: float = 4.0,
+) -> FaultPlan:
+    """Derive a reproducible fault schedule from ``seed``.
+
+    Kills between 0 and ``max_gpu_failures`` GPUs (default: all but one —
+    at least one GPU always survives, so recovery is always possible),
+    optionally slows a few survivors, and sprinkles transfer errors
+    (mostly transient) over the node links within ``[0, horizon_ms)``.
+    """
+    if num_gpus < 1:
+        raise ValueError(f"need at least one GPU, got {num_gpus}")
+    if horizon_ms <= 0:
+        raise ValueError(f"horizon_ms must be > 0, got {horizon_ms}")
+    rng = random.Random(seed)
+    events: list[FaultEvent] = []
+
+    cap = num_gpus - 1 if max_gpu_failures is None else min(max_gpu_failures, num_gpus - 1)
+    n_kills = rng.randint(0, cap) if cap > 0 else 0
+    victims = rng.sample(range(num_gpus), n_kills)
+    for gpu_id in victims:
+        events.append(GpuFailure(round(rng.uniform(0.0, horizon_ms), 6), gpu_id))
+
+    for gpu_id in range(num_gpus):
+        if gpu_id in victims:
+            continue
+        if rng.random() < straggler_probability:
+            events.append(Straggler(gpu_id, round(rng.uniform(1.1, max_slowdown), 6)))
+
+    nodes = -(-num_gpus // gpus_per_node)
+    for node in range(nodes):
+        if rng.random() < transfer_error_probability:
+            for _ in range(rng.randint(1, 2)):
+                events.append(
+                    TransferError(
+                        node,
+                        round(rng.uniform(0.0, horizon_ms), 6),
+                        transient=rng.random() < 0.9,
+                    )
+                )
+
+    return FaultPlan(tuple(events))

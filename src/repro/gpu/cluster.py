@@ -22,17 +22,20 @@ class MultiGpuSystem:
     num_gpus: int
     spec: GpuSpec = NVIDIA_A100
     cpu: HostCpuSpec = AMD_ROME_7742
+    gpus_per_node: int = 8
     gpus: list = field(init=False)
 
     def __post_init__(self):
         if self.num_gpus <= 0:
             raise ValueError(f"need at least one GPU, got {self.num_gpus}")
+        if self.gpus_per_node <= 0:
+            raise ValueError(f"need at least one GPU per node, got {self.gpus_per_node}")
         self.gpus = [SimulatedGpu(self.spec, gpu_id=i) for i in range(self.num_gpus)]
 
     @property
     def nodes(self) -> int:
-        """DGX nodes involved (8 GPUs each)."""
-        return -(-self.num_gpus // 8)
+        """DGX nodes involved (``gpus_per_node`` GPUs each)."""
+        return -(-self.num_gpus // self.gpus_per_node)
 
     @property
     def concurrent_threads_per_gpu(self) -> int:
@@ -59,7 +62,7 @@ class MultiGpuSystem:
         """
         from repro.engine.resources import system_resources
 
-        return system_resources(self.num_gpus)
+        return system_resources(self.num_gpus, self.gpus_per_node)
 
     def cpu_padd_rate(self) -> float:
         """Host PADD throughput (ops/s), from the paper's 128x GPU:CPU ratio.

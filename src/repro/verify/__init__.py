@@ -12,7 +12,12 @@ produced them.  Three checkers:
   use-before-reload, double-spills, budget and shared-memory overflows;
 * :mod:`repro.verify.races` — scatter/bucket-sum memory traces: a
   happens-before graph over blocks, barriers, warps, and atomics, flagging
-  unsynchronised same-address conflicts.
+  unsynchronised same-address conflicts;
+* :mod:`repro.verify.timelinecheck` — engine schedules: coverage,
+  dependency order, resource exclusivity, makespan claims (fault-aware);
+* :mod:`repro.verify.faultcheck` — recovered chaos timelines: no
+  post-mortem scheduling on dead resources, exponential-backoff spacing
+  of transfer retries, honest makespan accounting.
 
 ``python -m repro.verify`` runs all of it over every registered kernel and
 baseline; :mod:`repro.verify.fixtures` holds the injected faults that prove
@@ -22,10 +27,12 @@ each checker can actually fail.
 from repro.verify.driver import (
     verify_all,
     verify_bucket_sum,
+    verify_fault_recovery,
     verify_kernel_schedules,
     verify_scatter_config,
     verify_spill_plans,
 )
+from repro.verify.faultcheck import FaultCheckResult, verify_fault_timeline
 from repro.verify.fixtures import FIXTURES, run_fixture
 from repro.verify.races import (
     RaceCheckResult,
@@ -50,6 +57,7 @@ from repro.verify.spillcheck import (
 
 __all__ = [
     "FIXTURES",
+    "FaultCheckResult",
     "LiveInterval",
     "RaceCheckResult",
     "ScheduleCheckResult",
@@ -66,6 +74,8 @@ __all__ = [
     "trace_naive_scatter",
     "verify_all",
     "verify_bucket_sum",
+    "verify_fault_recovery",
+    "verify_fault_timeline",
     "verify_kernel_schedules",
     "verify_scatter_config",
     "verify_schedule",

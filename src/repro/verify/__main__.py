@@ -1,8 +1,8 @@
 """``python -m repro.verify`` — the static-analysis gate for CI.
 
-Exit status 0 when every registered kernel and baseline passes all three
-checkers (schedule, spill, race); non-zero with pointed diagnostics — the
-offending op or address — otherwise.  ``--inject-fault`` runs one of the
+Exit status 0 when every registered kernel and baseline passes all the
+checkers (schedule, spill, race, timeline, faults); non-zero with pointed
+diagnostics — the offending op or address — otherwise.  ``--inject-fault`` runs one of the
 known-broken fixtures and *inverts* nothing: the fixture's violations are
 printed and the exit status is non-zero, which is how the test suite (and
 a sceptical operator) confirms the checkers actually bite.

@@ -15,7 +15,11 @@ the independent checkers in this package:
 * the parallel bucket-sum's trace;
 * the execution engine's schedules — every timeline mode of a DistMSM
   estimate, the cross-MSM flow shop, and a batched-MSM schedule — audited
-  against the dependency / resource-exclusivity / makespan invariants.
+  against the dependency / resource-exclusivity / makespan invariants;
+* a chaos-tested DistMSM run — GPU death + straggler + transient transfer
+  error injected into an 8-GPU estimate, the recovered timeline audited by
+  both the schedule checker and the fault checker, and a functional
+  toy-curve kill verified bit-exact against the fault-free result.
 """
 
 from __future__ import annotations
@@ -231,6 +235,80 @@ def verify_timelines(report: VerificationReport | None = None) -> VerificationRe
     return report
 
 
+def verify_fault_recovery(report: VerificationReport | None = None) -> VerificationReport:
+    """Chaos-test the orchestrator and audit the recovered artifacts.
+
+    One analytic 8-GPU run under a mixed fault plan (GPU death mid-run,
+    a straggler, a transient transfer error) is checked against both the
+    generic schedule invariants and the fault rules; one functional
+    toy-curve run with a GPU killed at t=0 is checked bit-exact.
+    """
+    from repro.core.distmsm import DistMsm
+    from repro.curves.params import curve_by_name
+    from repro.curves.sampling import msm_instance
+    from repro.engine.faults import FaultPlan, GpuFailure, RetryPolicy, Straggler, TransferError
+    from repro.gpu.cluster import MultiGpuSystem
+    from repro.verify.faultcheck import verify_fault_timeline
+
+    report = report or VerificationReport()
+    curve = curve_by_name("BLS12-381")
+    config = DistMsmConfig(window_size=10)
+    engine = DistMsm(MultiGpuSystem(8), config)
+    horizon = engine.estimate(curve, 1 << 18).time_ms
+    # 20% in lands mid bucket-sum (the chunk is genuinely lost); 30% in
+    # lands inside the serialized host transfers (a retry actually fires)
+    plan = FaultPlan.of(
+        GpuFailure(horizon * 0.2, 3),
+        Straggler(5, 1.5),
+        TransferError(0, horizon * 0.3),
+    )
+    recovered = engine.estimate(curve, 1 << 18, faults=plan)
+    assert recovered.timeline is not None and recovered.fault_report is not None
+    retry = RetryPolicy(config.max_retries, config.backoff_base_ms)
+    checked = verify_timeline(
+        recovered.timeline, subject="DistMSM recovered (chaos)", faults=plan
+    )
+    report.extend(checked.violations)
+    fchecked = verify_fault_timeline(
+        recovered.timeline, plan, retry, subject="DistMSM recovered (chaos)"
+    )
+    report.extend(fchecked.violations)
+    report.add_check(
+        f"chaos estimate recovered: {fchecked.failures} task failures, "
+        f"{fchecked.attempts} retries, overhead "
+        f"{recovered.fault_report.recovery_overhead_ms:.3f} ms"
+    )
+
+    toy = toy_curve()
+    scalars, points = msm_instance(toy, 24, seed=23)
+    func_cfg = DistMsmConfig(window_size=4, threads_per_block=32, points_per_thread=4)
+    func = DistMsm(MultiGpuSystem(4), func_cfg)
+    expected = func.execute(scalars, points, toy).point
+    killed = func.execute(
+        scalars, points, toy, faults=FaultPlan.of(GpuFailure(0.0, 1))
+    )
+    assert killed.timeline is not None
+    if killed.point != expected:
+        from repro.verify.report import Violation
+
+        report.extend([
+            Violation(
+                "faults",
+                "functional recovery",
+                "recovered MSM result differs from the fault-free result",
+            )
+        ])
+    fchecked = verify_fault_timeline(
+        killed.timeline,
+        FaultPlan.of(GpuFailure(0.0, 1)),
+        RetryPolicy(func_cfg.max_retries, func_cfg.backoff_base_ms),
+        subject="functional recovery (gpu1 killed at t=0)",
+    )
+    report.extend(fchecked.violations)
+    report.add_check("functional kill-recovery bit-exact and audit-clean")
+    return report
+
+
 def verify_all() -> VerificationReport:
     """Verify every registered kernel and baseline configuration."""
     report = VerificationReport()
@@ -247,4 +325,5 @@ def verify_all() -> VerificationReport:
 
     verify_bucket_sum(report)
     verify_timelines(report)
+    verify_fault_recovery(report)
     return report

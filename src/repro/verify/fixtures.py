@@ -16,16 +16,24 @@ checker rejects it with a diagnostic naming the offending op or address.
   scatter variant);
 * ``timeline-overlap`` — an engine schedule whose CPU resource runs two
   bucket-reduces at once and whose makespan claim hides the second one (a
-  broken resource queue in a new timeline mode would produce exactly this).
+  broken resource queue in a new timeline mode would produce exactly this);
+* ``post-mortem-schedule`` — a recovered timeline that keeps scheduling a
+  task on a GPU after its fail-stop time (a re-planner that forgot to
+  remove the dead GPU from the survivor set);
+* ``backoff-violation`` — a retried transfer whose retry fires before the
+  exponential backoff allows (a broken retry queue or an attempt counter
+  stuck at 1).
 """
 
 from __future__ import annotations
 
-from repro.engine.resources import GPU_COMPUTE, HOST_CPU, Resource
-from repro.engine.timeline import Task, TaskSpan, Timeline
+from repro.engine.faults import FaultPlan, GpuFailure, RetryPolicy, TransferError
+from repro.engine.resources import GPU_COMPUTE, HOST_CPU, TRANSFER, Resource
+from repro.engine.timeline import Task, TaskAttempt, TaskSpan, Timeline
 from repro.kernels.dag import build_pacc_dag
 from repro.kernels.scheduler import find_optimal_schedule
 from repro.kernels.spill import SpillPlan, plan_spills
+from repro.verify.faultcheck import FaultCheckResult, verify_fault_timeline
 from repro.verify.races import RaceCheckResult, detect_races, trace_naive_scatter
 from repro.verify.report import VerificationReport
 from repro.verify.schedule import ScheduleCheckResult, verify_schedule
@@ -106,12 +114,64 @@ def broken_timeline_check() -> TimelineCheckResult:
     return verify_timeline(broken, subject="batch of 2 MSMs (double-booked CPU)")
 
 
+def broken_recovery_check() -> FaultCheckResult:
+    """A recovered schedule that still uses a GPU after it died.
+
+    GPU 0 fail-stops at t=5 but the "recovered" timeline schedules its
+    round-1 bucket-sum on it at t=6 — the survivor set was never pruned.
+    """
+    gpu0 = Resource("gpu0", GPU_COMPUTE, 0)
+    gpu1 = Resource("gpu1", GPU_COMPUTE, 1)
+    tasks = (
+        Task("msm:r0:sum:g0", gpu0, 3.0),
+        Task("msm:r0:sum:g1", gpu1, 3.0),
+        Task("msm:r1:sum:g0", gpu0, 3.0),
+    )
+    spans = {
+        "msm:r0:sum:g0": TaskSpan("msm:r0:sum:g0", gpu0, 0.0, 3.0),
+        "msm:r0:sum:g1": TaskSpan("msm:r0:sum:g1", gpu1, 0.0, 3.0),
+        # scheduled on gpu0 a full millisecond after its death at t=5
+        "msm:r1:sum:g0": TaskSpan("msm:r1:sum:g0", gpu0, 6.0, 9.0),
+    }
+    broken = Timeline(tasks=tasks, spans=spans, total_ms=9.0)
+    return verify_fault_timeline(
+        broken,
+        FaultPlan.of(GpuFailure(5.0, 0)),
+        subject="recovery onto a dead GPU",
+    )
+
+
+def broken_backoff_check() -> FaultCheckResult:
+    """A retried transfer that restarts before its backoff window closes.
+
+    The transfer fails at t=2 under a 1 ms base backoff, so the retry may
+    start no earlier than t=3 — but the broken queue re-issues it at 2.1.
+    """
+    link = Resource("node0-link", TRANSFER, 0)
+    tasks = (Task("msm:r0:transfer:g0", link, 1.0),)
+    spans = {
+        "msm:r0:transfer:g0": TaskSpan("msm:r0:transfer:g0", link, 2.1, 3.1),
+    }
+    attempts = (
+        TaskAttempt("msm:r0:transfer:g0", link, 1.0, 2.0, attempt=1, retry_at_ms=2.1),
+    )
+    broken = Timeline(tasks=tasks, spans=spans, total_ms=3.1, attempts=attempts)
+    return verify_fault_timeline(
+        broken,
+        FaultPlan.of(TransferError(0, 2.0)),
+        retry=RetryPolicy(max_retries=3, backoff_base_ms=1.0),
+        subject="retry before backoff",
+    )
+
+
 #: fixture name -> callable returning a checker result that must FAIL
 FIXTURES = {
     "register-peak": broken_schedule_check,
     "use-before-reload": broken_spill_check,
     "scatter-race": broken_scatter_check,
     "timeline-overlap": broken_timeline_check,
+    "post-mortem-schedule": broken_recovery_check,
+    "backoff-violation": broken_backoff_check,
 }
 
 

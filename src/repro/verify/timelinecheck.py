@@ -10,6 +10,14 @@ replays the invariants every valid schedule must satisfy:
 * no resource runs two tasks at once (they are serial units);
 * the claimed makespan equals the latest span end.
 
+Fault-aware: pass the :class:`~repro.engine.faults.FaultPlan` the timeline
+was simulated under and the checker scales expected durations by straggler
+slowdowns, exempts failed tasks from the coverage rule (their absence is
+the point), counts retry attempts as resource occupancy, and includes
+failures/attempts in the makespan claim.  The fault-*specific* rules (no
+post-mortem scheduling, backoff spacing) live in
+:mod:`repro.verify.faultcheck`.
+
 Violations use the shared :class:`~repro.verify.report.Violation` record
 with ``checker="timeline"``; ``op`` carries the offending task name.
 """
@@ -18,7 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engine.timeline import TIME_EPS, Timeline
+from repro.engine.faults import FaultPlan
+from repro.engine.timeline import TIME_EPS, TaskSpan, Timeline
 from repro.verify.report import Violation
 
 
@@ -42,13 +51,18 @@ class TimelineCheckResult:
 
 
 def verify_timeline(
-    timeline: Timeline, subject: str = "timeline", eps: float = TIME_EPS
+    timeline: Timeline,
+    subject: str = "timeline",
+    eps: float = TIME_EPS,
+    faults: FaultPlan | None = None,
 ) -> TimelineCheckResult:
     """Audit one scheduled timeline against the schedule invariants."""
     spans = timeline.spans
     by_name = {task.name: task for task in timeline.tasks}
     resources = {span.resource.name for span in spans.values()}
     result = TimelineCheckResult(subject, tasks=len(timeline.tasks), resources=len(resources))
+    slowdowns = faults.slowdowns() if faults is not None else {}
+    failed = {f.task for f in timeline.failures}
 
     # 1. span coverage and durations
     for name in spans:
@@ -57,14 +71,20 @@ def verify_timeline(
     for task in timeline.tasks:
         span = spans.get(task.name)
         if span is None:
-            result._add("task has no span (never scheduled)", op=task.name)
+            if task.name not in failed:
+                result._add("task has no span (never scheduled)", op=task.name)
             continue
+        if task.name in failed:
+            result._add(
+                "task both completed and failed (double accounting)", op=task.name
+            )
         if span.start_ms < -eps:
             result._add(f"starts before t=0 (at {span.start_ms})", op=task.name)
-        if abs(span.duration_ms - task.duration_ms) > eps:
+        expected = task.duration_ms * slowdowns.get(span.resource.name, 1.0)
+        if abs(span.duration_ms - expected) > eps:
             result._add(
                 f"span duration {span.duration_ms} != task duration "
-                f"{task.duration_ms}",
+                f"{expected}",
                 op=task.name,
             )
 
@@ -84,10 +104,20 @@ def verify_timeline(
                     op=task.name,
                 )
 
-    # 3. resource exclusivity (serial units)
+    # 3. resource exclusivity (serial units); retry attempts occupy too
     by_resource: dict[str, list] = {}
     for span in spans.values():
         by_resource.setdefault(span.resource.name, []).append(span)
+    for attempt in timeline.attempts:
+        by_resource.setdefault(attempt.resource.name, []).append(
+            TaskSpan(
+                f"{attempt.task}#attempt{attempt.attempt}",
+                attempt.resource,
+                attempt.start_ms,
+                attempt.end_ms,
+                "",
+            )
+        )
     for res, res_spans in sorted(by_resource.items()):
         res_spans.sort(key=lambda s: (s.start_ms, s.end_ms, s.task))
         for prev, cur in zip(res_spans, res_spans[1:]):
@@ -100,8 +130,15 @@ def verify_timeline(
                     address=f"resource:{res}",
                 )
 
-    # 4. makespan claim
-    actual_total = max((s.end_ms for s in spans.values()), default=0.0)
+    # 4. makespan claim (aborted work and retries count)
+    actual_total = max(
+        (
+            *(s.end_ms for s in spans.values()),
+            *(f.at_ms for f in timeline.failures),
+            *(a.end_ms for a in timeline.attempts),
+        ),
+        default=0.0,
+    )
     if abs(timeline.total_ms - actual_total) > eps:
         result._add(
             f"claimed makespan {timeline.total_ms} != latest span end "

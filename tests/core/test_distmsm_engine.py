@@ -35,6 +35,13 @@ class TestConfig:
             {"efficiency": 0.0},
             {"efficiency": 1.5},
             {"gpu_reduce": "magic"},
+            {"threads_per_block": 0},
+            {"points_per_thread": -1},
+            {"threads_per_bucket_min": 0},
+            {"max_retries": -1},
+            {"backoff_base_ms": 0.0},
+            {"heartbeat_ms": 0.0},
+            {"node_sync_ms": -0.1},
         ],
     )
     def test_validation(self, kwargs):

@@ -1,0 +1,111 @@
+"""faultcheck: post-mortem scheduling, backoff spacing, honest makespan."""
+
+import pytest
+
+from repro.engine.faults import (
+    FaultPlan,
+    GpuFailure,
+    RetryPolicy,
+    TransferError,
+)
+from repro.engine.resources import system_resources
+from repro.engine.timeline import Task, simulate
+from repro.verify.faultcheck import verify_fault_timeline
+from repro.verify.fixtures import FIXTURES
+
+from tests.verify.test_cli import run_cli
+
+
+@pytest.fixture()
+def rig():
+    res = system_resources(2)
+    tasks = [
+        Task("a", res.gpus[0], 2.0),
+        Task("t_a", res.channels[0], 1.0, ("a",), requires_alive=("gpu0",)),
+        Task("b", res.gpus[1], 1.0, ("t_a",)),
+    ]
+    return res, tasks
+
+
+class TestCleanTimelines:
+    def test_fault_free_timeline_passes(self, rig):
+        _, tasks = rig
+        plan = FaultPlan.of(GpuFailure(100.0, 0))
+        checked = verify_fault_timeline(simulate(tasks, faults=plan), plan)
+        assert checked.ok
+        assert checked.tasks == 3
+        assert checked.failures == 0
+
+    def test_killed_run_still_passes(self, rig):
+        # the simulator's own output under a kill must be internally
+        # consistent: failures recorded, no post-mortem spans
+        _, tasks = rig
+        plan = FaultPlan.of(GpuFailure(1.0, 0))
+        checked = verify_fault_timeline(simulate(tasks, faults=plan), plan)
+        assert checked.ok
+        assert checked.failures == 3
+
+    def test_retried_run_passes(self, rig):
+        _, tasks = rig
+        plan = FaultPlan.of(TransferError(0, 2.5))
+        policy = RetryPolicy(max_retries=2, backoff_base_ms=0.25)
+        checked = verify_fault_timeline(
+            simulate(tasks, faults=plan, retry=policy), plan, policy
+        )
+        assert checked.ok
+        assert checked.attempts == 1
+
+
+class TestViolationDetection:
+    def test_fixture_post_mortem_schedule_caught(self):
+        checked = FIXTURES["post-mortem-schedule"]()
+        assert not checked.ok
+        messages = " ".join(v.message for v in checked.violations)
+        assert "death" in messages
+
+    def test_fixture_backoff_violation_caught(self):
+        checked = FIXTURES["backoff-violation"]()
+        assert not checked.ok
+        assert any("backoff" in v.message for v in checked.violations)
+
+    def test_dishonest_makespan_caught(self, rig):
+        _, tasks = rig
+        plan = FaultPlan.of(GpuFailure(1.0, 0))
+        timeline = simulate(tasks, faults=plan)
+        trimmed = type(timeline)(
+            tasks=timeline.tasks,
+            spans=timeline.spans,
+            total_ms=0.5,
+            failures=timeline.failures,
+            attempts=timeline.attempts,
+        )
+        checked = verify_fault_timeline(trimmed, plan)
+        assert any("hides work" in v.message for v in checked.violations)
+
+    def test_excess_retries_caught(self, rig):
+        _, tasks = rig
+        plan = FaultPlan.of(TransferError(0, 2.5), TransferError(0, 3.0))
+        generous = RetryPolicy(max_retries=3, backoff_base_ms=0.25)
+        timeline = simulate(tasks, faults=plan, retry=generous)
+        assert len(timeline.attempts) == 2
+        strict = RetryPolicy(max_retries=1, backoff_base_ms=0.25)
+        checked = verify_fault_timeline(timeline, plan, strict)
+        assert any("max_retries" in v.message for v in checked.violations)
+
+
+class TestCliIntegration:
+    @pytest.mark.parametrize(
+        "fixture", ["post-mortem-schedule", "backoff-violation"]
+    )
+    def test_fault_fixture_is_caught_with_nonzero_exit(self, fixture):
+        proc = run_cli("--inject-fault", fixture)
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "FAIL" in proc.stdout
+
+    def test_post_mortem_diagnostic_names_the_resource(self):
+        proc = run_cli("--inject-fault", "post-mortem-schedule")
+        assert "resource:gpu0" in proc.stdout
+
+    def test_backoff_diagnostic_names_the_attempt(self):
+        proc = run_cli("--inject-fault", "backoff-violation")
+        assert "backoff" in proc.stdout
