@@ -10,9 +10,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: ci lint typecheck verify bench-smoke chaos-smoke test
+.PHONY: ci lint typecheck verify bench-smoke chaos-smoke serve-smoke test
 
-ci: lint typecheck verify bench-smoke chaos-smoke test
+ci: lint typecheck verify bench-smoke chaos-smoke serve-smoke test
 	@echo "ci: all gates passed"
 
 lint:
@@ -42,6 +42,10 @@ bench-smoke:
 chaos-smoke:
 	@echo "== fault-recovery smoke benchmark"
 	@$(PYTHON) benchmarks/bench_fault_recovery.py --smoke
+
+serve-smoke:
+	@echo "== serving-latency smoke benchmark"
+	@$(PYTHON) benchmarks/bench_serving.py --smoke
 
 test:
 	@echo "== pytest (tier 1)"

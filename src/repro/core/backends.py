@@ -32,7 +32,7 @@ from repro.curves.params import CurveParams
 from repro.curves.point import AffinePoint, XyzzPoint, to_affine, xyzz_add
 from repro.curves.scalar import signed_windows, unsigned_windows
 from repro.gpu.counters import EventCounters
-from repro.msm.precompute import precompute_tables
+from repro.msm.precompute import cached_precompute_tables
 
 if TYPE_CHECKING:
     from repro.core.distmsm import DistMsm, _GpuWork
@@ -124,7 +124,7 @@ class FunctionalBackend:
         self.s = s
         self._flat = True
         signed = self.config.signed_digits
-        tables = precompute_tables(self.points, self.curve, s, total_windows)
+        tables = cached_precompute_tables(self.points, self.curve, s, total_windows)
         flat_points: list[AffinePoint] = []
         digits: list[int] = []
         negate: list[bool] = []

@@ -67,17 +67,26 @@ class BatchMsmScheduler:
     """Interleave multiple MSM requests over one :class:`MultiGpuSystem`.
 
     The cluster's GPUs are split into ``gpu_groups`` equal groups; each
-    request's GPU phase runs on one group (round-robin admission), its
-    bucket-reduce on the shared host CPU.  ``gpu_groups=1`` reproduces the
-    paper's single-proof pipelining (all GPUs per MSM, CPU overlapped);
-    more groups trade per-request latency for batch throughput.
+    request's GPU phase runs on one group, its bucket-reduce on the shared
+    host CPU.  ``gpu_groups=1`` reproduces the paper's single-proof
+    pipelining (all GPUs per MSM, CPU overlapped); more groups trade
+    per-request latency for batch throughput.
+
+    ``policy`` picks the group per request: ``"round-robin"`` ignores
+    request cost (the historical default), ``"least-loaded"`` assigns each
+    request to the group with the least accumulated GPU work — with mixed
+    request sizes, round-robin can pile the large MSMs onto one group
+    while others idle, so least-loaded strictly shortens the makespan.
     """
+
+    POLICIES = ("round-robin", "least-loaded")
 
     def __init__(
         self,
         system: "MultiGpuSystem",
         config: object | None = None,
         gpu_groups: int = 1,
+        policy: str = "round-robin",
     ) -> None:
         if gpu_groups < 1:
             raise ValueError(f"gpu_groups must be >= 1, got {gpu_groups}")
@@ -86,9 +95,14 @@ class BatchMsmScheduler:
                 f"{gpu_groups} groups need at least as many GPUs "
                 f"(system has {system.num_gpus})"
             )
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; expected one of {self.POLICIES}"
+            )
         self.system = system
         self.config = config
         self.gpu_groups = gpu_groups
+        self.policy = policy
 
     def _group_engines(self) -> list[object]:
         from repro.core.distmsm import DistMsm
@@ -117,11 +131,16 @@ class BatchMsmScheduler:
         tasks: list[Task] = []
         serial = 0.0
         cpu_names: list[str] = []
+        group_load = [0.0] * self.gpu_groups
         for i, req in enumerate(requests):
-            group = i % self.gpu_groups
+            if self.policy == "least-loaded":
+                group = min(range(self.gpu_groups), key=lambda g: (group_load[g], g))
+            else:
+                group = i % self.gpu_groups
             job = msm_job_from_estimate(
                 engines[group], req.curve, req.n, label=req.label
             )
+            group_load[group] += job.gpu_ms
             gpu_name = f"{req.label}#{i}:gpu"
             cpu_name = f"{req.label}#{i}:reduce"
             tasks.append(Task(gpu_name, groups[group], job.gpu_ms, stage=req.label))

@@ -12,6 +12,9 @@ reusable; its cost is amortised, so the evaluation treats it as offline.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass
+
 from repro.curves.params import CurveParams
 from repro.curves.point import (
     AffinePoint,
@@ -44,6 +47,106 @@ def precompute_tables(
         tables.append(batch_to_affine(shifted, curve))
         current = shifted
     return tables
+
+
+@dataclass
+class PrecomputeCacheStats:
+    """Hit/miss accounting of one :class:`PrecomputeTableCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PrecomputeTableCache:
+    """LRU cache of precompute tables, keyed by (curve, s, point vector).
+
+    The point vector being constant across proofs (§2.2) is the whole
+    premise of precomputation — but :func:`precompute_tables` used to be
+    recomputed on every call, paying ``windows * s`` doublings per point
+    each time.  This cache memoizes the tables so repeated MSMs over the
+    same fixed points (every proof of one circuit, every request of one
+    serving workload) pay the doubling cost once.
+
+    A cached entry with more windows than requested serves the request
+    with its prefix (table ``j`` only depends on ``j``); a request for
+    more windows than cached recomputes and replaces the entry.
+    """
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = PrecomputeCacheStats()
+        self._entries: OrderedDict[tuple, list[list[AffinePoint]]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(points: list[AffinePoint], curve: CurveParams, window_size: int) -> tuple:
+        return (curve.name, window_size, tuple(points))
+
+    def tables_for(
+        self,
+        points: list[AffinePoint],
+        curve: CurveParams,
+        window_size: int,
+        windows: int,
+    ) -> list[list[AffinePoint]]:
+        key = self._key(points, curve, window_size)
+        cached = self._entries.get(key)
+        if cached is not None and len(cached) >= windows:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return cached[:windows]
+        self.stats.misses += 1
+        tables = precompute_tables(points, curve, window_size, windows)
+        self._entries[key] = tables
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return tables
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats = PrecomputeCacheStats()
+
+
+#: the process-wide default cache (what the DistMSM backends go through)
+_DEFAULT_CACHE = PrecomputeTableCache()
+
+
+def precompute_cache() -> PrecomputeTableCache:
+    """The process-wide precompute table cache."""
+    return _DEFAULT_CACHE
+
+
+def cached_precompute_tables(
+    points: list[AffinePoint],
+    curve: CurveParams,
+    window_size: int,
+    windows: int,
+) -> list[list[AffinePoint]]:
+    """:func:`precompute_tables` through the process-wide LRU cache."""
+    return _DEFAULT_CACHE.tables_for(points, curve, window_size, windows)
 
 
 def msm_with_precompute(

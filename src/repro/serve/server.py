@@ -1,0 +1,604 @@
+"""The MSM proof server: queue -> admission -> batcher -> engine -> metrics.
+
+:class:`MsmProofServer` serves a request workload (an open-loop trace or
+a :class:`~repro.serve.queue.ClosedLoopSource`) on one
+:class:`~repro.gpu.cluster.MultiGpuSystem` in simulated time.  The
+cluster's GPUs are partitioned into ``gpu_groups`` groups; each batch is
+bound to the least-loaded group, its per-request work is planned through
+the persistent :class:`~repro.serve.plancache.PlanCache` (misses pay a
+modelled planning latency), and the tasks are admitted onto ONE shared
+event-driven timeline (:func:`repro.engine.timeline.simulate`) — so the
+GPU phases of different requests, their node-link transfers, and their
+host bucket-reduces all overlap, continuous-batching style.
+
+Faults: a :class:`~repro.engine.faults.FaultPlan` makes the same run a
+chaos test.  GPU deaths known to the heartbeat detector shrink group
+capacity and degrade the effective batch size
+(:func:`~repro.serve.admission.degraded_batch_size`); work lost to a
+death before detection is re-emitted on the surviving GPUs after the
+detection tick, re-planned at the survivors' capacity, and the request
+completes late but correct — functional payloads stay bit-exact because
+the MSM math never depends on which GPUs ran it.
+
+``ServeConfig(overlap=False)`` is the honest one-request-at-a-time
+baseline: one group, batch size one, and each request's GPU stage gated
+on the previous request's host reduce — no cross-request overlap at all.
+That baseline is what ``benchmarks/bench_serving.py`` beats on p95.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.core.config import DistMsmConfig
+from repro.core.distmsm import DistMsm
+from repro.curves.point import AffinePoint
+from repro.engine.faults import FaultPlan, RetryPolicy
+from repro.engine.resources import SystemResources
+from repro.engine.timeline import TIME_EPS, Task, Timeline, simulate
+from repro.faults.recovery import FaultRecoveryError, detection_time_ms
+from repro.gpu.cluster import MultiGpuSystem
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    ShedEvent,
+    degraded_batch_size,
+)
+from repro.serve.batcher import (
+    Batch,
+    BatchPolicy,
+    ContinuousBatcher,
+    emit_request_tasks,
+    request_task_names,
+)
+from repro.serve.metrics import RequestRecord, ServeMetrics
+from repro.serve.plancache import CachedPlan, PlanCache, cache_report
+from repro.serve.queue import ClosedLoopSource, ProofRequest, RequestQueue
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Policy of one serving deployment.
+
+    ``gpu_groups`` partitions the cluster (a batch runs on one group);
+    ``plan_ms`` is the modelled planner latency charged per plan-cache
+    miss; ``overlap=False`` selects the one-request-at-a-time baseline
+    (forces one group, batch size one, and full serialisation).
+    """
+
+    gpu_groups: int = 1
+    max_batch_size: int = 8
+    max_wait_ms: float = 2.0
+    max_queue: int = 64
+    reject_infeasible: bool = True
+    slack_ms: float = 0.0
+    plan_ms: float = 0.5
+    overlap: bool = True
+    degrade_on_faults: bool = True
+
+    def __post_init__(self) -> None:
+        if self.gpu_groups < 1:
+            raise ValueError(f"gpu_groups must be >= 1, got {self.gpu_groups}")
+        if self.plan_ms < 0:
+            raise ValueError(f"plan_ms must be >= 0, got {self.plan_ms}")
+        if not self.overlap and (self.gpu_groups != 1 or self.max_batch_size != 1):
+            raise ValueError(
+                "overlap=False is the one-at-a-time baseline: it requires "
+                "gpu_groups=1 and max_batch_size=1"
+            )
+
+    def batch_policy(self) -> BatchPolicy:
+        return BatchPolicy(
+            max_batch_size=self.max_batch_size,
+            max_wait_ms=self.max_wait_ms,
+            deadline_slack_ms=self.slack_ms,
+        )
+
+    def admission_config(self) -> AdmissionConfig:
+        return AdmissionConfig(
+            max_queue=self.max_queue,
+            reject_infeasible=self.reject_infeasible,
+            slack_ms=self.slack_ms,
+        )
+
+
+@dataclass
+class _Emission:
+    """One execution attempt of one request on the shared timeline."""
+
+    request: ProofRequest
+    attempt: int
+    group: int
+    gpu_indices: list[int]
+    names: dict
+    batch_id: int
+    formed_ms: float
+    admit_ms: float
+
+
+@dataclass
+class ServeResult:
+    """Everything one serving run produced, for metrics and audit."""
+
+    requests: list[ProofRequest]
+    records: list[RequestRecord]
+    shed: list[ShedEvent]
+    batches: list[Batch]
+    timeline: Timeline
+    metrics: ServeMetrics
+    faults: FaultPlan | None = None
+    #: task-emission audit trail: request id -> its attempts, in order
+    emissions: dict = field(default_factory=dict)
+
+    def record_for(self, req_id: int) -> RequestRecord | None:
+        for record in self.records:
+            if record.req_id == req_id:
+                return record
+        return None
+
+
+class MsmProofServer:
+    """Continuous-batching MSM serving on one simulated multi-GPU system."""
+
+    def __init__(
+        self,
+        system: MultiGpuSystem,
+        config: DistMsmConfig | None = None,
+        serve_config: ServeConfig | None = None,
+        plan_cache: PlanCache | None = None,
+    ) -> None:
+        self.system = system
+        self.config = config or DistMsmConfig()
+        self.serve_config = serve_config or ServeConfig()
+        if self.serve_config.gpu_groups > system.num_gpus:
+            raise ValueError(
+                f"{self.serve_config.gpu_groups} groups need at least as many "
+                f"GPUs (system has {system.num_gpus})"
+            )
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.resources: SystemResources = system.resources()
+        self.groups: list[tuple[int, ...]] = self._partition_gpus()
+        self._engines: dict[int, DistMsm] = {}
+
+    # -- static structure ----------------------------------------------------
+
+    def _partition_gpus(self) -> list[tuple[int, ...]]:
+        """Contiguous, near-even GPU groups (node-locality preserved)."""
+        num, groups = self.system.num_gpus, self.serve_config.gpu_groups
+        base, extra = divmod(num, groups)
+        out, start = [], 0
+        for g in range(groups):
+            size = base + (1 if g < extra else 0)
+            out.append(tuple(range(start, start + size)))
+            start += size
+        return out
+
+    def _engine_for(self, gpu_count: int) -> DistMsm:
+        """A planning engine for a ``gpu_count``-GPU slice of the cluster."""
+        engine = self._engines.get(gpu_count)
+        if engine is None:
+            engine = DistMsm(
+                MultiGpuSystem(
+                    gpu_count,
+                    spec=self.system.spec,
+                    cpu=self.system.cpu,
+                    gpus_per_node=self.system.gpus_per_node,
+                ),
+                self.config,
+            )
+            self._engines[gpu_count] = engine
+        return engine
+
+    # -- fault awareness -----------------------------------------------------
+
+    def _known_dead(self, faults: FaultPlan | None, now_ms: float) -> set[int]:
+        """GPUs whose death the heartbeat detector has reported by ``now``."""
+        if faults is None:
+            return set()
+        return {
+            g
+            for g, at in faults.gpu_death_times().items()
+            if detection_time_ms(at, self.config.heartbeat_ms) <= now_ms + TIME_EPS
+        }
+
+    def _surviving_members(self, group: int, dead: set[int]) -> list[int]:
+        return [g for g in self.groups[group] if g not in dead]
+
+    def _live_groups(self, dead: set[int]) -> list[int]:
+        return [
+            g for g in range(len(self.groups)) if self._surviving_members(g, dead)
+        ]
+
+    # -- serving -------------------------------------------------------------
+
+    def serve(
+        self,
+        workload: list[ProofRequest] | ClosedLoopSource,
+        faults: FaultPlan | None = None,
+    ) -> ServeResult:
+        """Serve a workload; returns the full audited result.
+
+        Open loop: ``workload`` is a request trace (arrivals fixed up
+        front).  Closed loop: a :class:`ClosedLoopSource`, asked for each
+        client's next request as its previous response completes.
+        Deterministic either way.
+        """
+        if faults is not None and faults.gpu_death_times():
+            alive = set(range(self.system.num_gpus)) - set(faults.gpu_death_times())
+            if not alive:
+                raise FaultRecoveryError(
+                    "fault plan kills every GPU; no survivor to serve on"
+                )
+        source = workload if isinstance(workload, ClosedLoopSource) else None
+        initial = source.initial_arrivals() if source is not None else list(workload)
+
+        retry = RetryPolicy(self.config.max_retries, self.config.backoff_base_ms)
+        policy = self.serve_config.batch_policy()
+        queue = RequestQueue(self.serve_config.max_queue)
+        admission = AdmissionController(self.serve_config.admission_config())
+        batcher = ContinuousBatcher(policy)
+
+        arrivals: list[tuple[float, int, ProofRequest]] = []
+        seen_ids: set[int] = set()
+
+        def submit(request: ProofRequest) -> None:
+            if request.req_id in seen_ids:
+                raise ValueError(f"duplicate request id {request.req_id}")
+            seen_ids.add(request.req_id)
+            heapq.heappush(arrivals, (request.arrival_ms, request.req_id, request))
+
+        for request in sorted(initial, key=lambda r: (r.arrival_ms, r.req_id)):
+            submit(request)
+
+        tasks: list[Task] = []
+        submitted: list[ProofRequest] = []
+        emissions: dict[int, list[_Emission]] = {}
+        results: dict[int, AffinePoint] = {}
+        group_free: dict[int, float] = {g: 0.0 for g in range(len(self.groups))}
+        fed_back: set[int] = set()
+        last_serial_reduce: str | None = None
+        clock = 0.0
+
+        def service_peek(request: ProofRequest) -> float | None:
+            dead = self._known_dead(faults, clock)
+            live = self._live_groups(dead)
+            if not live:
+                return None
+            sizes = {len(self._surviving_members(g, dead)) for g in live}
+            plans = [
+                self.plan_cache.peek(self._engine_for(k), request.curve, request.n)
+                for k in sizes
+            ]
+            known = [p.service_ms for p in plans if p is not None]
+            return max(known) if known else None
+
+        while arrivals or len(queue):
+            # 1. pull every due arrival through admission
+            while arrivals and arrivals[0][0] <= clock + TIME_EPS:
+                _, _, request = heapq.heappop(arrivals)
+                submitted.append(request)
+                earliest_start = max(
+                    request.arrival_ms, min(group_free.values(), default=0.0)
+                )
+                estimate = service_peek(request)
+                decision = admission.decide(
+                    request,
+                    queue_len=len(queue),
+                    earliest_start_ms=earliest_start,
+                    service_estimate_ms=estimate if estimate is not None else 0.0,
+                )
+                if decision is None:
+                    queue.push(request)
+
+            if not len(queue):
+                if not arrivals:
+                    break
+                clock = max(clock, arrivals[0][0])
+                continue
+
+            # 2. fault-degraded capacity at this instant
+            dead = self._known_dead(faults, clock)
+            live = self._live_groups(dead)
+            if not live:
+                # every group currently headless: wait for nothing — the
+                # plan was validated to leave at least one survivor, and
+                # deaths are permanent, so this cannot happen
+                raise FaultRecoveryError("no live GPU group to serve on")
+            surviving = sum(len(self._surviving_members(g, dead)) for g in live)
+            eff_batch = (
+                degraded_batch_size(
+                    policy.max_batch_size, surviving, self.system.num_gpus
+                )
+                if self.serve_config.degrade_on_faults
+                else policy.max_batch_size
+            )
+
+            # 3. when does the next batch close?
+            close_at = batcher.next_close_ms(queue, clock, eff_batch, service_peek)
+            assert close_at is not None
+            if arrivals and arrivals[0][0] <= close_at + TIME_EPS:
+                clock = max(clock, arrivals[0][0])
+                continue
+            clock = close_at
+
+            # 4. close the batch onto the least-loaded live group
+            group = min(live, key=lambda g: (group_free[g], g))
+            members = self._surviving_members(group, dead)
+            engine = self._engine_for(len(members))
+            plans: dict[int, CachedPlan] = {}
+            window_sizes: dict[int, int] = {}
+            misses = 0
+            batch_requests = queue.snapshot()[:eff_batch]
+            for request in batch_requests:
+                plan, hit = self.plan_cache.lookup(engine, request.curve, request.n)
+                plans[request.req_id] = plan
+                window_sizes[request.req_id] = plan.window_size
+                misses += 0 if hit else 1
+            admit_ms = clock + self.serve_config.plan_ms * misses
+            batch = batcher.form(
+                queue, group, clock, admit_ms, eff_batch, window_sizes, misses
+            )
+            last_serial_reduce = self._emit_batch(
+                batch, plans, members, tasks, emissions, results, last_serial_reduce
+            )
+            group_free[group] = max(group_free[group], admit_ms) + sum(
+                plans[r.req_id].gpu_ms for r in batch.requests
+            )
+
+            # 5. closed loop: completions release the clients' next requests
+            if source is not None:
+                timeline = self._resolve(tasks, emissions, faults, retry, group_free)
+                for req_id, ems in emissions.items():
+                    if req_id in fed_back:
+                        continue
+                    last = ems[-1]
+                    span = timeline.spans.get(last.names["reduce"])
+                    if span is None:
+                        continue
+                    fed_back.add(req_id)
+                    follow_up = source.on_complete(last.request, span.end_ms)
+                    if follow_up is not None:
+                        submit(follow_up)
+
+        timeline = self._resolve(tasks, emissions, faults, retry, group_free)
+        return self._finish(
+            submitted, emissions, results, admission, batcher, timeline, faults
+        )
+
+    # -- emission and fault recovery -----------------------------------------
+
+    def _emit_batch(
+        self,
+        batch: Batch,
+        plans: dict[int, CachedPlan],
+        members: list[int],
+        tasks: list[Task],
+        emissions: dict[int, list[_Emission]],
+        results: dict[int, AffinePoint],
+        last_serial_reduce: str | None,
+    ) -> str | None:
+        """Emit every request of a formed batch onto the shared timeline."""
+        group_gpus = [self.resources.gpu(i) for i in members]
+        for request in batch.requests:
+            extra = ()
+            if not self.serve_config.overlap and last_serial_reduce is not None:
+                extra = (last_serial_reduce,)
+            names = request_task_names(request.req_id, 0, members)
+            tasks.extend(
+                emit_request_tasks(
+                    request,
+                    0,
+                    plans[request.req_id],
+                    group_gpus,
+                    self.resources,
+                    batch.admit_ms,
+                    stage=f"b{batch.batch_id}",
+                    extra_deps=extra,
+                )
+            )
+            emissions[request.req_id] = [
+                _Emission(
+                    request,
+                    0,
+                    batch.group,
+                    list(members),
+                    names,
+                    batch.batch_id,
+                    batch.formed_ms,
+                    batch.admit_ms,
+                )
+            ]
+            last_serial_reduce = names["reduce"]
+            if request.payload is not None:
+                engine = self._engine_for(len(members))
+                results[request.req_id] = engine.execute(
+                    list(request.payload.scalars),
+                    list(request.payload.points),
+                    request.curve,
+                ).point
+        return last_serial_reduce
+
+    def _resolve(
+        self,
+        tasks: list[Task],
+        emissions: dict[int, list[_Emission]],
+        faults: FaultPlan | None,
+        retry: RetryPolicy,
+        group_free: dict[int, float],
+    ) -> Timeline:
+        """Simulate the shared timeline; under faults, re-plan until every
+        emitted request's reduce has completed.
+
+        A lost attempt (GPU death before its transfer landed, or a
+        permanent transfer error) is re-emitted after the failure's
+        detection tick on the request's group shrunk to its survivors —
+        or, if the whole group died, on the least-loaded surviving group
+        — re-planned at the survivors' capacity through the plan cache.
+        """
+        max_rounds = (len(faults.events) if faults is not None else 0) + (
+            self.system.num_gpus + 2
+        )
+        for _ in range(max_rounds):
+            timeline = simulate(tasks, faults=faults, retry=retry)
+            if faults is None:
+                return timeline
+            lost = [
+                ems[-1]
+                for ems in emissions.values()
+                if ems[-1].names["reduce"] not in timeline.spans
+            ]
+            if not lost:
+                return timeline
+            for emission in sorted(lost, key=lambda e: e.request.req_id):
+                fail_at = max(
+                    (
+                        f.at_ms
+                        for name in (
+                            *emission.names["gpu"],
+                            emission.names["xfer"],
+                            emission.names["reduce"],
+                        )
+                        for f in (timeline.failure_for(name),)
+                        if f is not None
+                    ),
+                    default=emission.admit_ms,
+                )
+                detect = detection_time_ms(fail_at, self.config.heartbeat_ms)
+                dead = self._known_dead(faults, detect)
+                members = self._surviving_members(emission.group, dead)
+                group = emission.group
+                if not members:
+                    live = self._live_groups(dead)
+                    if not live:
+                        raise FaultRecoveryError(
+                            "every GPU died before serving completed"
+                        )
+                    group = min(live, key=lambda g: (group_free[g], g))
+                    members = self._surviving_members(group, dead)
+                engine = self._engine_for(len(members))
+                plan, hit = self.plan_cache.lookup(
+                    engine, emission.request.curve, emission.request.n
+                )
+                not_before = detect + (0.0 if hit else self.serve_config.plan_ms)
+                attempt = emission.attempt + 1
+                names = request_task_names(
+                    emission.request.req_id, attempt, members
+                )
+                tasks.extend(
+                    emit_request_tasks(
+                        emission.request,
+                        attempt,
+                        plan,
+                        [self.resources.gpu(i) for i in members],
+                        self.resources,
+                        not_before,
+                        stage=f"b{emission.batch_id}.retry{attempt}",
+                    )
+                )
+                emissions[emission.request.req_id].append(
+                    _Emission(
+                        emission.request,
+                        attempt,
+                        group,
+                        list(members),
+                        names,
+                        emission.batch_id,
+                        emission.formed_ms,
+                        emission.admit_ms,
+                    )
+                )
+                group_free[group] = max(group_free[group], not_before) + plan.gpu_ms
+        raise FaultRecoveryError(
+            f"serving recovery did not converge within {max_rounds} re-plans"
+        )
+
+    # -- result assembly -----------------------------------------------------
+
+    def _finish(
+        self,
+        submitted: list[ProofRequest],
+        emissions: dict[int, list[_Emission]],
+        results: dict[int, AffinePoint],
+        admission: AdmissionController,
+        batcher: ContinuousBatcher,
+        timeline: Timeline,
+        faults: FaultPlan | None,
+    ) -> ServeResult:
+        records: list[RequestRecord] = []
+        for req_id in sorted(emissions):
+            ems = emissions[req_id]
+            first, last = ems[0], ems[-1]
+            first_spans = [
+                timeline.spans[name]
+                for name in first.names["gpu"]
+                if name in timeline.spans
+            ]
+            start_ms = (
+                min(s.start_ms for s in first_spans)
+                if first_spans
+                else timeline.spans[last.names["gpu"][0]].start_ms
+            )
+            complete_ms = timeline.spans[last.names["reduce"]].end_ms
+            records.append(
+                RequestRecord(
+                    req_id=req_id,
+                    label=first.request.label,
+                    n=first.request.n,
+                    arrival_ms=first.request.arrival_ms,
+                    formed_ms=first.formed_ms,
+                    admit_ms=first.admit_ms,
+                    start_ms=start_ms,
+                    complete_ms=complete_ms,
+                    batch_id=first.batch_id,
+                    group=first.group,
+                    deadline_ms=first.request.deadline_ms,
+                    retries=len(ems) - 1,
+                    result=results.get(req_id),
+                )
+            )
+        metrics = ServeMetrics(
+            records=records,
+            shed=list(admission.shed),
+            makespan_ms=timeline.total_ms,
+            utilization=timeline.utilization(),
+            caches=cache_report(self.plan_cache),
+        )
+        return ServeResult(
+            requests=submitted,
+            records=records,
+            shed=list(admission.shed),
+            batches=batcher.batches,
+            timeline=timeline,
+            metrics=metrics,
+            faults=faults,
+            emissions=emissions,
+        )
+
+
+def serve_one_at_a_time(
+    system: MultiGpuSystem,
+    requests: list[ProofRequest],
+    config: DistMsmConfig | None = None,
+    plan_cache: PlanCache | None = None,
+    faults: FaultPlan | None = None,
+) -> ServeResult:
+    """The FCFS baseline: one request at a time, no overlap anywhere.
+
+    All GPUs serve each request in turn, and the next request's GPU phase
+    waits for the previous request's host reduce — the serving equivalent
+    of disabling §3.2.3 pipelining.  Same admission control, same caches,
+    so the benchmark comparison isolates continuous batching itself.
+    """
+    server = MsmProofServer(
+        system,
+        config,
+        ServeConfig(
+            gpu_groups=1,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            overlap=False,
+        ),
+        plan_cache=plan_cache,
+    )
+    return server.serve(requests, faults=faults)

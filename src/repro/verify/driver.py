@@ -309,6 +309,50 @@ def verify_fault_recovery(report: VerificationReport | None = None) -> Verificat
     return report
 
 
+def verify_serving(report: VerificationReport | None = None) -> VerificationReport:
+    """Serve a small seeded workload (with a mid-run GPU death) and audit it.
+
+    The serving run's artifacts — request records, shed events, the shared
+    engine timeline — are checked against both the generic schedule
+    invariants and the serving-specific rules (no pre-arrival execution,
+    shed requests never execute, conservation, honest completions).
+    """
+    from repro.engine.faults import FaultPlan, GpuFailure
+    from repro.gpu.cluster import MultiGpuSystem
+    from repro.serve import MsmProofServer, ServeConfig, poisson_trace
+    from repro.verify.servecheck import verify_serving as check_serving
+
+    report = report or VerificationReport()
+    curve = curve_by_name("BLS12-381")
+    config = DistMsmConfig(window_size=10)
+    trace = poisson_trace(curve, count=12, rate_rps=300.0, seed=41, sizes=1 << 16)
+    server = MsmProofServer(
+        MultiGpuSystem(4),
+        config,
+        ServeConfig(gpu_groups=2, max_batch_size=4, max_queue=8),
+    )
+    served = server.serve(trace, faults=FaultPlan.of(GpuFailure(6.0, 1)))
+    checked = verify_timeline(
+        served.timeline, subject="serving timeline (gpu1 dies at 6 ms)",
+        faults=served.faults,
+    )
+    report.extend(checked.violations)
+    schecked = check_serving(
+        served.requests,
+        served.records,
+        served.shed,
+        served.timeline,
+        subject="serving run (gpu1 dies at 6 ms)",
+    )
+    report.extend(schecked.violations)
+    report.add_check(
+        f"serving audit clean: {schecked.served} served, {schecked.shed} shed, "
+        f"{served.metrics.retried_requests} retried, "
+        f"p95 {served.metrics.p95_ms:.3f} ms"
+    )
+    return report
+
+
 def verify_all() -> VerificationReport:
     """Verify every registered kernel and baseline configuration."""
     report = VerificationReport()
@@ -326,4 +370,5 @@ def verify_all() -> VerificationReport:
     verify_bucket_sum(report)
     verify_timelines(report)
     verify_fault_recovery(report)
+    verify_serving(report)
     return report

@@ -22,7 +22,11 @@ checker rejects it with a diagnostic naming the offending op or address.
   remove the dead GPU from the survivor set);
 * ``backoff-violation`` — a retried transfer whose retry fires before the
   exponential backoff allows (a broken retry queue or an attempt counter
-  stuck at 1).
+  stuck at 1);
+* ``serve-before-arrival`` — a serving run whose timeline starts a
+  request's GPU stage before the request arrived AND executes a request
+  the admission controller shed (a batcher reading the trace instead of
+  the queue would produce exactly this).
 """
 
 from __future__ import annotations
@@ -164,6 +168,54 @@ def broken_backoff_check() -> FaultCheckResult:
     )
 
 
+def broken_serving_check() -> "ServeCheckResult":
+    """A serving run that executes early and executes the shed.
+
+    Request 0 arrives at t=5 but its GPU stage is scheduled at t=3 — the
+    batcher consumed the trace instead of waiting for the arrival — and
+    request 1, shed as queue-full, still got its tasks onto the timeline.
+    """
+    from repro.curves.params import curve_by_name
+    from repro.serve.admission import SHED_QUEUE_FULL, ShedEvent
+    from repro.serve.metrics import RequestRecord
+    from repro.serve.queue import ProofRequest
+    from repro.verify.servecheck import ServeCheckResult, verify_serving
+
+    curve = curve_by_name("BLS12-381")
+    requests = [
+        ProofRequest(0, curve, 1 << 12, arrival_ms=5.0),
+        ProofRequest(1, curve, 1 << 12, arrival_ms=5.5),
+    ]
+    gpu = Resource("gpu0", GPU_COMPUTE, 0)
+    cpu = Resource("cpu", HOST_CPU)
+    tasks = (
+        Task("req0.a0:gpu0", gpu, 2.0),
+        Task("req0.a0:reduce", cpu, 1.0, deps=("req0.a0:gpu0",)),
+        Task("req1.a0:gpu0", gpu, 2.0),
+        Task("req1.a0:reduce", cpu, 1.0, deps=("req1.a0:gpu0",)),
+    )
+    spans = {
+        # starts two milliseconds before the request arrives
+        "req0.a0:gpu0": TaskSpan("req0.a0:gpu0", gpu, 3.0, 5.0),
+        "req0.a0:reduce": TaskSpan("req0.a0:reduce", cpu, 5.0, 6.0),
+        # the shed request executes anyway
+        "req1.a0:gpu0": TaskSpan("req1.a0:gpu0", gpu, 6.0, 8.0),
+        "req1.a0:reduce": TaskSpan("req1.a0:reduce", cpu, 8.0, 9.0),
+    }
+    timeline = Timeline(tasks=tasks, spans=spans, total_ms=9.0)
+    records = [
+        RequestRecord(
+            req_id=0, label="req", n=1 << 12, arrival_ms=5.0, formed_ms=5.0,
+            admit_ms=5.0, start_ms=3.0, complete_ms=6.0, batch_id=0, group=0,
+        )
+    ]
+    shed = [ShedEvent(requests[1], 5.5, SHED_QUEUE_FULL)]
+    return verify_serving(
+        requests, records, shed, timeline,
+        subject="serving run (pre-arrival start, shed executed)",
+    )
+
+
 #: fixture name -> callable returning a checker result that must FAIL
 FIXTURES = {
     "register-peak": broken_schedule_check,
@@ -172,6 +224,7 @@ FIXTURES = {
     "timeline-overlap": broken_timeline_check,
     "post-mortem-schedule": broken_recovery_check,
     "backoff-violation": broken_backoff_check,
+    "serve-before-arrival": broken_serving_check,
 }
 
 

@@ -80,3 +80,45 @@ class TestBatchScheduler:
             BatchMsmScheduler(MultiGpuSystem(4), CONFIG, gpu_groups=0)
         with pytest.raises(ValueError, match="at least as many GPUs"):
             BatchMsmScheduler(MultiGpuSystem(2), CONFIG, gpu_groups=4)
+
+
+class TestGroupPolicy:
+    def _mixed(self, count: int = 8) -> list:
+        # alternating big/small: round-robin with 2 groups piles every big
+        # MSM onto group 0 while group 1 runs only the small ones
+        return [
+            MsmRequest(f"r{i}", BLS, (1 << 20) if i % 2 == 0 else (1 << 12))
+            for i in range(count)
+        ]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            BatchMsmScheduler(MultiGpuSystem(4), CONFIG, policy="random")
+
+    def test_policies_agree_on_uniform_requests(self):
+        rr = BatchMsmScheduler(
+            MultiGpuSystem(4), CONFIG, gpu_groups=2, policy="round-robin"
+        ).schedule(_requests(6))
+        ll = BatchMsmScheduler(
+            MultiGpuSystem(4), CONFIG, gpu_groups=2, policy="least-loaded"
+        ).schedule(_requests(6))
+        # identical work items: both policies balance perfectly
+        assert ll.makespan_ms == pytest.approx(rr.makespan_ms)
+
+    def test_least_loaded_beats_round_robin_on_mixed_sizes(self):
+        """The regression round-robin provably loses: alternating sizes."""
+        reqs = self._mixed()
+        rr = BatchMsmScheduler(
+            MultiGpuSystem(4), CONFIG, gpu_groups=2, policy="round-robin"
+        ).schedule(reqs)
+        ll = BatchMsmScheduler(
+            MultiGpuSystem(4), CONFIG, gpu_groups=2, policy="least-loaded"
+        ).schedule(reqs)
+        assert ll.makespan_ms < rr.makespan_ms
+
+    def test_least_loaded_schedule_passes_audit(self):
+        batch = BatchMsmScheduler(
+            MultiGpuSystem(4), CONFIG, gpu_groups=2, policy="least-loaded"
+        ).schedule(self._mixed(6))
+        checked = verify_timeline(batch.timeline, subject="least-loaded batch")
+        assert checked.ok, [str(v) for v in checked.violations]

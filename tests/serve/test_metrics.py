@@ -1,0 +1,125 @@
+"""SLO metrics: percentiles, breakdowns, and the JSON export."""
+
+import json
+
+import pytest
+
+from repro.curves.params import curve_by_name
+from repro.serve import (
+    SHED_QUEUE_FULL,
+    ProofRequest,
+    RequestRecord,
+    ServeMetrics,
+    ShedEvent,
+    percentile,
+)
+
+BLS = curve_by_name("BLS12-381")
+
+
+def _record(rid, arrival, complete, **kw):
+    return RequestRecord(
+        req_id=rid,
+        label=f"r{rid}",
+        n=1 << 12,
+        arrival_ms=arrival,
+        formed_ms=kw.pop("formed", arrival + 1.0),
+        admit_ms=kw.pop("admit", arrival + 1.5),
+        start_ms=kw.pop("start", arrival + 2.0),
+        complete_ms=complete,
+        batch_id=kw.pop("batch_id", 0),
+        group=kw.pop("group", 0),
+        **kw,
+    )
+
+
+class TestPercentile:
+    def test_nearest_rank_values_occur_in_input(self):
+        values = [5.0, 1.0, 9.0, 3.0]
+        for q in (0.0, 25.0, 50.0, 75.0, 95.0, 100.0):
+            assert percentile(values, q) in values
+
+    def test_known_points(self):
+        values = [float(i) for i in range(1, 11)]
+        assert percentile(values, 50.0) == 5.0
+        assert percentile(values, 95.0) == 10.0
+        assert percentile(values, 100.0) == 10.0
+        assert percentile(values, 0.0) == 1.0
+
+    def test_empty_and_invalid(self):
+        assert percentile([], 95.0) == 0.0
+        with pytest.raises(ValueError, match="q must be in"):
+            percentile([1.0], 101.0)
+
+
+class TestRequestRecord:
+    def test_breakdown_sums_to_total(self):
+        r = _record(0, arrival=10.0, complete=20.0)
+        assert r.queue_ms + r.batch_form_ms + r.execute_ms == pytest.approx(
+            r.total_ms
+        )
+        assert r.total_ms == pytest.approx(10.0)
+
+    def test_deadline_violation(self):
+        assert _record(0, 0.0, 10.0, deadline_ms=9.0).deadline_violated
+        assert not _record(1, 0.0, 10.0, deadline_ms=11.0).deadline_violated
+        assert not _record(2, 0.0, 10.0).deadline_violated
+
+    def test_as_dict_round_trips_through_json(self):
+        d = json.loads(json.dumps(_record(3, 0.0, 4.0).as_dict()))
+        assert d["req_id"] == 3 and d["total_ms"] == 4.0
+
+
+class TestServeMetrics:
+    def _metrics(self):
+        records = [_record(i, float(i), float(i) + 4.0 + i) for i in range(10)]
+        shed = [
+            ShedEvent(
+                ProofRequest(99, BLS, 1 << 12, arrival_ms=1.0), 1.0, SHED_QUEUE_FULL
+            )
+        ]
+        return ServeMetrics(
+            records=records,
+            shed=shed,
+            makespan_ms=50.0,
+            utilization={"gpu0": 0.5, "gpu1": 0.3, "cpu": 0.9, "node0-link": 0.1},
+        )
+
+    def test_counts_and_throughput(self):
+        m = self._metrics()
+        assert m.served == 10 and m.submitted == 11
+        assert m.shed_count() == 1 and m.shed_count(SHED_QUEUE_FULL) == 1
+        assert m.shed_count("deadline-infeasible") == 0
+        assert m.throughput_rps == pytest.approx(10 / 50.0 * 1e3)
+
+    def test_percentiles_over_latencies(self):
+        m = self._metrics()
+        # latencies are 4+i for i in 0..9: 4, 5, ..., 13
+        assert m.p50_ms == pytest.approx(8.0)
+        assert m.p99_ms == pytest.approx(13.0)
+        assert m.mean_ms == pytest.approx(8.5)
+
+    def test_gpu_utilization_averages_gpus_only(self):
+        assert self._metrics().gpu_utilization() == pytest.approx(0.4)
+
+    def test_breakdown_means(self):
+        b = self._metrics().mean_breakdown_ms()
+        assert b["queue_ms"] == pytest.approx(1.0)
+        assert b["batch_form_ms"] == pytest.approx(0.5)
+
+    def test_json_export_complete(self):
+        d = json.loads(self._metrics().to_json())
+        assert d["served"] == 10
+        assert d["shed_by_reason"] == {SHED_QUEUE_FULL: 1}
+        assert len(d["requests"]) == 10
+        assert set(d["latency_ms"]) == {"p50", "p95", "p99", "mean"}
+
+    def test_render_mentions_the_slo_story(self):
+        text = self._metrics().render()
+        assert "p95" in text and "req/s" in text and "shed 1" in text
+
+    def test_empty_metrics_do_not_crash(self):
+        m = ServeMetrics()
+        assert m.p95_ms == 0.0 and m.throughput_rps == 0.0
+        assert m.gpu_utilization() == 0.0
+        assert m.mean_breakdown_ms()["queue_ms"] == 0.0

@@ -1,0 +1,154 @@
+"""Serving through GPU failures: bit-exact results at honest latency."""
+
+import pytest
+
+from repro.core.config import DistMsmConfig
+from repro.curves.params import curve_by_name
+from repro.curves.sampling import msm_instance
+from repro.curves.toy import toy_curve
+from repro.engine.faults import FaultPlan, GpuFailure
+from repro.faults.recovery import FaultRecoveryError
+from repro.gpu.cluster import MultiGpuSystem
+from repro.msm.naive import naive_msm
+from repro.serve import (
+    MsmPayload,
+    MsmProofServer,
+    ProofRequest,
+    ServeConfig,
+)
+from repro.verify.servecheck import verify_serving
+from repro.verify.timelinecheck import verify_timeline
+
+BLS = curve_by_name("BLS12-381")
+TOY_CONFIG = DistMsmConfig(
+    window_size=4, threads_per_block=32, points_per_thread=4
+)
+
+
+def _payload_trace(toy, count=10, spacing_ms=0.4):
+    """Open-loop trace of real toy-curve MSMs plus their true answers."""
+    requests, expected = [], {}
+    at = 0.0
+    for i in range(count):
+        scalars, points = msm_instance(toy, 16, seed=100 + i)
+        requests.append(
+            ProofRequest(
+                req_id=i,
+                curve=toy,
+                n=16,
+                arrival_ms=at,
+                payload=MsmPayload(tuple(scalars), tuple(points)),
+            )
+        )
+        expected[i] = naive_msm(scalars, points, toy)
+        at += spacing_ms
+    return requests, expected
+
+
+def _serve(requests, faults=None, gpus=4, **kw):
+    kw.setdefault("gpu_groups", 2)
+    kw.setdefault("max_batch_size", 4)
+    kw.setdefault("max_wait_ms", 0.5)
+    server = MsmProofServer(
+        MultiGpuSystem(gpus), TOY_CONFIG, ServeConfig(**kw)
+    )
+    return server.serve(requests, faults=faults)
+
+
+class TestBitExactUnderFaults:
+    """Satellite: GpuFailure mid-serve, results bit-exact, latency honest."""
+
+    def test_all_requests_complete_bit_exactly(self):
+        toy = toy_curve()
+        requests, expected = _payload_trace(toy)
+        result = _serve(requests, faults=FaultPlan.of(GpuFailure(1.0, 1)))
+        assert len(result.records) == len(requests)
+        assert result.shed == []
+        for record in result.records:
+            assert record.result == expected[record.req_id]
+
+    def test_failure_actually_forced_retries(self):
+        toy = toy_curve()
+        requests, _ = _payload_trace(toy)
+        result = _serve(requests, faults=FaultPlan.of(GpuFailure(1.0, 1)))
+        assert result.metrics.retried_requests > 0
+        retried = [r for r in result.records if r.retries > 0]
+        assert all(r.retries >= 1 for r in retried)
+
+    def test_latency_is_honestly_higher_than_fault_free(self):
+        toy = toy_curve()
+        requests, _ = _payload_trace(toy)
+        clean = _serve(requests)
+        faulty = _serve(requests, faults=FaultPlan.of(GpuFailure(1.0, 1)))
+        assert clean.metrics.retried_requests == 0
+        # the same trace through a failure must not report equal-or-better
+        # tail latency: retries and lost capacity show up in the metrics
+        assert faulty.metrics.p99_ms > clean.metrics.p99_ms
+        assert faulty.metrics.makespan_ms > clean.metrics.makespan_ms
+        clean_by_id = {r.req_id: r for r in clean.records}
+        for record in faulty.records:
+            if record.retries > 0:
+                assert record.total_ms > clean_by_id[record.req_id].total_ms
+
+    def test_results_identical_with_and_without_faults(self):
+        toy = toy_curve()
+        requests, _ = _payload_trace(toy, count=8)
+        clean = _serve(requests)
+        faulty = _serve(requests, faults=FaultPlan.of(GpuFailure(1.0, 1)))
+        for record in faulty.records:
+            assert record.result == clean.record_for(record.req_id).result
+
+    def test_audits_pass_under_faults(self):
+        toy = toy_curve()
+        requests, _ = _payload_trace(toy)
+        result = _serve(requests, faults=FaultPlan.of(GpuFailure(1.0, 1)))
+        checked = verify_serving(
+            result.requests, result.records, result.shed, result.timeline
+        )
+        assert checked.ok, [str(v) for v in checked.violations]
+        tchecked = verify_timeline(result.timeline, faults=result.faults)
+        assert tchecked.ok, [str(v) for v in tchecked.violations]
+
+    def test_no_span_on_dead_gpu_after_detection(self):
+        toy = toy_curve()
+        requests, _ = _payload_trace(toy)
+        faults = FaultPlan.of(GpuFailure(1.0, 1))
+        result = _serve(requests, faults=faults)
+        death = faults.gpu_death_times()[1]
+        for name, span in result.timeline.spans.items():
+            if span.resource.name == "gpu1":
+                assert span.start_ms < death or span.end_ms <= death + 1e-9
+
+
+class TestGroupDeathAndMigration:
+    def test_whole_group_death_migrates_to_survivor(self):
+        toy = toy_curve()
+        requests, expected = _payload_trace(toy, count=8)
+        # group 0 = {gpu0, gpu1}; kill both, survivors are group 1
+        faults = FaultPlan.of(GpuFailure(0.8, 0), GpuFailure(0.8, 1))
+        result = _serve(requests, faults=faults)
+        assert len(result.records) == 8
+        for record in result.records:
+            assert record.result == expected[record.req_id]
+
+    def test_all_gpus_dead_is_rejected_up_front(self):
+        toy = toy_curve()
+        requests, _ = _payload_trace(toy, count=4)
+        faults = FaultPlan.of(*(GpuFailure(0.5, g) for g in range(4)))
+        with pytest.raises(FaultRecoveryError, match="no survivor"):
+            _serve(requests, faults=faults)
+
+    def test_degraded_capacity_shrinks_batches_after_death(self):
+        trace = [
+            ProofRequest(i, BLS, 1 << 14, arrival_ms=float(i) * 0.2)
+            for i in range(12)
+        ]
+        server = MsmProofServer(
+            MultiGpuSystem(2),
+            DistMsmConfig(window_size=10),
+            ServeConfig(gpu_groups=1, max_batch_size=4, max_wait_ms=0.5),
+        )
+        result = server.serve(trace, faults=FaultPlan.of(GpuFailure(0.1, 1)))
+        assert len(result.records) == 12
+        late = [b for b in result.batches if b.formed_ms > 1.0]
+        assert late and max(b.size for b in late) <= 2

@@ -43,7 +43,13 @@ class TestCleanPass:
 class TestInjectedFaults:
     @pytest.mark.parametrize(
         "fixture",
-        ["register-peak", "use-before-reload", "scatter-race", "timeline-overlap"],
+        [
+            "register-peak",
+            "use-before-reload",
+            "scatter-race",
+            "timeline-overlap",
+            "serve-before-arrival",
+        ],
     )
     def test_fault_is_caught_with_nonzero_exit(self, fixture):
         proc = run_cli("--inject-fault", fixture)

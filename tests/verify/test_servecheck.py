@@ -1,0 +1,109 @@
+"""The serving auditor: clean runs pass, doctored artifacts are caught."""
+
+from repro.core.config import DistMsmConfig
+from repro.curves.params import curve_by_name
+from repro.gpu.cluster import MultiGpuSystem
+from repro.serve import (
+    MsmProofServer,
+    ServeConfig,
+    poisson_trace,
+)
+from repro.serve.metrics import RequestRecord
+from repro.verify.fixtures import FIXTURES, broken_serving_check
+from repro.verify.servecheck import request_id_of, verify_serving
+
+BLS = curve_by_name("BLS12-381")
+
+
+def _serve():
+    server = MsmProofServer(
+        MultiGpuSystem(4),
+        DistMsmConfig(window_size=10),
+        ServeConfig(gpu_groups=2, max_batch_size=4),
+    )
+    trace = poisson_trace(BLS, 10, 400.0, seed=11, sizes=1 << 14)
+    return server.serve(trace)
+
+
+class TestTaskNameParsing:
+    def test_serve_names_parse(self):
+        assert request_id_of("req7.a0:gpu3") == 7
+        assert request_id_of("req12.a2:reduce") == 12
+
+    def test_foreign_names_ignored(self):
+        assert request_id_of("gpu0:scatter") is None
+        assert request_id_of("req:reduce") is None
+
+
+class TestCleanRun:
+    def test_real_serving_run_passes(self):
+        result = _serve()
+        checked = verify_serving(
+            result.requests, result.records, result.shed, result.timeline
+        )
+        assert checked.ok, [str(v) for v in checked.violations]
+        assert checked.requests == 10
+        assert checked.served == 10 and checked.shed == 0
+
+
+class TestDoctoredArtifacts:
+    def test_fabricated_record_is_caught(self):
+        result = _serve()
+        forged = result.records + [
+            RequestRecord(
+                req_id=999,
+                label="forged",
+                n=1 << 14,
+                arrival_ms=0.0,
+                formed_ms=0.0,
+                admit_ms=0.0,
+                start_ms=0.0,
+                complete_ms=1.0,
+                batch_id=0,
+                group=0,
+            )
+        ]
+        checked = verify_serving(
+            result.requests, forged, result.shed, result.timeline
+        )
+        messages = " ".join(str(v) for v in checked.violations)
+        assert "unknown request 999" in messages
+
+    def test_lost_request_is_caught(self):
+        result = _serve()
+        dropped = [r for r in result.records if r.req_id != 0]
+        checked = verify_serving(
+            result.requests, dropped, result.shed, result.timeline
+        )
+        messages = " ".join(str(v) for v in checked.violations)
+        assert "neither served nor shed" in messages
+
+    def test_dishonest_completion_is_caught(self):
+        import dataclasses
+
+        result = _serve()
+        first = result.records[0]
+        doctored = [
+            dataclasses.replace(r, complete_ms=r.complete_ms - 1.0)
+            if r.req_id == first.req_id
+            else r
+            for r in result.records
+        ]
+        checked = verify_serving(
+            result.requests, doctored, result.shed, result.timeline
+        )
+        assert not checked.ok
+        messages = " ".join(str(v) for v in checked.violations)
+        assert "final reduce end" in messages or "precedes" in messages
+
+
+class TestFixture:
+    def test_registered_in_cli_registry(self):
+        assert FIXTURES["serve-before-arrival"] is broken_serving_check
+
+    def test_fixture_yields_precise_violations(self):
+        checked = broken_serving_check()
+        assert not checked.ok
+        messages = " ".join(str(v) for v in checked.violations)
+        assert "before" in messages  # pre-arrival execution
+        assert "shed request" in messages  # shed-but-executed
