@@ -10,9 +10,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: ci lint typecheck verify bench-smoke chaos-smoke serve-smoke test
+.PHONY: ci lint typecheck verify bench-smoke chaos-smoke serve-smoke trace-smoke test
 
-ci: lint typecheck verify bench-smoke chaos-smoke serve-smoke test
+ci: lint typecheck verify bench-smoke chaos-smoke serve-smoke trace-smoke test
 	@echo "ci: all gates passed"
 
 lint:
@@ -46,6 +46,10 @@ chaos-smoke:
 serve-smoke:
 	@echo "== serving-latency smoke benchmark"
 	@$(PYTHON) benchmarks/bench_serving.py --smoke
+
+trace-smoke:
+	@echo "== traced-run smoke benchmark (observe audit)"
+	@$(PYTHON) benchmarks/bench_trace.py --smoke
 
 test:
 	@echo "== pytest (tier 1)"

@@ -1,0 +1,111 @@
+"""Traced reference runs: Chrome exports plus the observe audit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trace.py [--smoke]
+
+Produces ``results/trace_msm.json`` and ``results/trace_serve.json``
+(Chrome trace-event files — load them in ``about:tracing`` or Perfetto)
+and ``results/trace_summary.txt`` (the ASCII flamegraph summaries).  Both
+traces are audited with :mod:`repro.verify.observecheck` before anything
+is written; any reconciliation violation exits nonzero.  ``--smoke`` (the
+``make trace-smoke`` CI hook) runs the same pipeline at reduced sizes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.core.config import DistMsmConfig
+from repro.core.distmsm import DistMsm
+from repro.curves.params import curve_by_name
+from repro.gpu.cluster import MultiGpuSystem
+from repro.observe import Tracer
+from repro.serve import MsmProofServer, ServeConfig, poisson_trace
+from repro.verify.observecheck import verify_trace, verify_trace_against_timeline
+
+BLS381 = curve_by_name("BLS12-381")
+
+
+def traced_runs(smoke: bool = False):
+    """One traced MSM estimate and one traced serve run, both audited."""
+    log_n = 18 if smoke else 24
+    msm_trace = Tracer(f"msm-2gpu-2^{log_n}")
+    msm = DistMsm(MultiGpuSystem(2), DistMsmConfig(window_size=10)).estimate(
+        BLS381, 1 << log_n, trace=msm_trace
+    )
+
+    serve_trace = Tracer("serve-4req")
+    server = MsmProofServer(
+        MultiGpuSystem(2), DistMsmConfig(window_size=10), ServeConfig(max_batch_size=2)
+    )
+    served = server.serve(
+        poisson_trace(
+            BLS381,
+            count=4 if smoke else 16,
+            rate_rps=200.0,
+            seed=7,
+            sizes=1 << (12 if smoke else 16),
+        ),
+        trace=serve_trace,
+    )
+
+    violations = []
+    audit = verify_trace_against_timeline(
+        msm_trace, msm.timeline, subject="bench-msm", phase_serial=True
+    )
+    violations += audit.violations
+    for check in (
+        verify_trace(serve_trace, subject="bench-serve"),
+        verify_trace(msm_trace, subject="bench-msm"),
+    ):
+        violations += check.violations
+    return msm_trace, serve_trace, msm, served, violations
+
+
+def write_outputs(msm_trace, serve_trace) -> tuple[pathlib.Path, str]:
+    results = pathlib.Path(__file__).resolve().parent.parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "trace_msm.json").write_text(
+        msm_trace.to_chrome_json(indent=2) + "\n"
+    )
+    (results / "trace_serve.json").write_text(
+        serve_trace.to_chrome_json(indent=2) + "\n"
+    )
+    summary = msm_trace.summary() + "\n\n" + serve_trace.summary()
+    (results / "trace_summary.txt").write_text(summary + "\n")
+    return results, summary
+
+
+def test_traced_runs(benchmark):
+    msm_trace, serve_trace, msm, served, violations = benchmark.pedantic(
+        traced_runs, rounds=1, iterations=1
+    )
+    assert not violations, [str(v) for v in violations]
+    assert len(msm_trace.spans) > 0 and len(serve_trace.spans) > 0
+    write_outputs(msm_trace, serve_trace)
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    msm_trace, serve_trace, msm, served, violations = traced_runs(smoke=smoke)
+    results, summary = write_outputs(msm_trace, serve_trace)
+    if violations:
+        for v in violations:
+            print(f"VIOLATION: {v}", file=sys.stderr)
+        return 1
+    if smoke:
+        print(
+            f"trace-smoke: {len(msm_trace.spans)} MSM spans reconcile with "
+            f"makespan {msm.time_ms:.3f} ms; {len(serve_trace.spans)} serve "
+            f"spans over {served.metrics.served} requests; audit clean"
+        )
+    else:
+        print(summary)
+    print(f"[saved to {results}/trace_msm.json, trace_serve.json, trace_summary.txt]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

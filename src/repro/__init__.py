@@ -37,6 +37,7 @@ from repro.curves.point import AffinePoint
 from repro.gpu.cluster import MultiGpuSystem
 from repro.msm.naive import naive_msm
 from repro.msm.pippenger import pippenger_msm
+from repro.observe import Tracer
 
 __version__ = "1.0.0"
 
@@ -51,6 +52,7 @@ __all__ = [
     "AffinePoint",
     "naive_msm",
     "pippenger_msm",
+    "Tracer",
     "msm",
     "__version__",
 ]

@@ -6,6 +6,7 @@ Usage::
     python -m repro table3               # the full Table 3 grid
     python -m repro fig11 --log-n 24     # Fig. 11 at a custom size
     python -m repro msm --curve BN254 --log-n 20 --gpus 8
+    python -m repro trace --curve BN254 --log-n 20 --gpus 4 --out msm.json
 """
 
 from __future__ import annotations
@@ -49,6 +50,24 @@ def _run_msm(args) -> int:
     return 0
 
 
+def _run_trace(args) -> int:
+    from repro import DistMsm, MultiGpuSystem, curve_by_name
+    from repro.observe import Tracer
+
+    curve = curve_by_name(args.curve)
+    gpus = args.gpus or 1
+    log_n = args.log_n or 20
+    trace = Tracer(f"msm-{curve.name}-2^{log_n}-{gpus}gpu")
+    result = DistMsm(MultiGpuSystem(gpus)).estimate(curve, 1 << log_n, trace=trace)
+    print(trace.summary())
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(trace.to_chrome_json(indent=2) + "\n")
+        print(f"\nChrome trace written to {args.out} (open in about:tracing)")
+    print(f"\nmakespan {result.time_ms:.3f} ms, {len(trace.spans)} spans")
+    return 0
+
+
 def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -61,15 +80,21 @@ def main(argv: list | None = None) -> int:
     parser.add_argument("--log-n", type=int, default=None, help="log2 of the MSM size")
     parser.add_argument("--gpus", type=int, default=None, help="simulated GPU count")
     parser.add_argument("--curve", default="BN254", help="curve name (msm command)")
+    parser.add_argument(
+        "--out", default=None, help="Chrome trace JSON path (trace command)"
+    )
     args = parser.parse_args(argv)
 
     runners = _experiment_runners()
     if args.experiment == "list":
         print("experiments:", ", ".join(sorted(runners)))
-        print("utilities:   msm (--curve --log-n --gpus)")
+        print("utilities:   msm (--curve --log-n --gpus), "
+              "trace (--curve --log-n --gpus --out)")
         return 0
     if args.experiment == "msm":
         return _run_msm(args)
+    if args.experiment == "trace":
+        return _run_trace(args)
     if args.experiment not in runners:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2

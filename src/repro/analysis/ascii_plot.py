@@ -1,7 +1,9 @@
 """Tiny ASCII line plots for the figure benchmarks' results files.
 
 Not a plotting library — just enough to make ``results/figure*.txt``
-readable as *figures* (the paper's curves) rather than bare tables.
+readable as *figures* (the paper's curves) rather than bare tables, plus
+the horizontal bars (:func:`ascii_bars`) behind the tracer's
+flamegraph-style summaries.
 """
 
 from __future__ import annotations
@@ -83,4 +85,30 @@ def ascii_plot(
     lines.append(
         "legend: " + ", ".join(f"{label[0]} = {label}" for label in series)
     )
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    rows: dict,
+    width: int = 48,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render named magnitudes as sorted horizontal bars (largest first).
+
+    The flamegraph-style view of a trace: one row per label (a phase or a
+    track), bar length proportional to its value, exact value printed at
+    the end.  Zero and negative values get an empty bar.
+    """
+    if not rows:
+        raise ValueError("need at least one row")
+    top = max(max(rows.values()), 0.0) or 1.0
+    label_w = max(len(str(label)) for label in rows)
+    ordered = sorted(rows.items(), key=lambda kv: (-kv[1], kv[0]))
+    lines = [title] if title else []
+    for label, value in ordered:
+        filled = round(max(value, 0.0) / top * width)
+        bar = "#" * filled + "." * (width - filled)
+        suffix = f" {unit}" if unit else ""
+        lines.append(f"{label:>{label_w}} |{bar}| {value:.3f}{suffix}")
     return "\n".join(lines)

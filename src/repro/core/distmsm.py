@@ -22,6 +22,7 @@ from which overlapped/serial schedules can be rebuilt.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.core.backends import AnalyticBackend, Backend, FunctionalBackend
 from repro.core.bucket_reduce import gpu_bucket_reduce_counts
@@ -61,6 +62,9 @@ from repro.gpu.timing import (
     pipelined_cpu_visible_ms,
 )
 from repro.kernels.padd_kernel import KernelDescriptor
+
+if TYPE_CHECKING:
+    from repro.observe.tracer import Tracer
 
 __all__ = [
     "DistMsm",
@@ -187,6 +191,7 @@ class DistMsm:
         points: list[AffinePoint],
         curve: CurveParams,
         faults: FaultPlan | None = None,
+        trace: "Tracer | None" = None,
     ) -> DistMsmResult:
         """Run the full pipeline functionally; returns the exact MSM result.
 
@@ -194,6 +199,11 @@ class DistMsm:
         the scheduled failures, the orchestrator detects and re-plans
         around them, and the result is still bit-exact (plus a
         :class:`~repro.faults.recovery.FaultReport`).
+
+        With a ``trace`` (:class:`~repro.observe.tracer.Tracer`), the
+        run's schedule is transcribed onto it: one span per phase task on
+        its GPU/link/CPU track, window-size and chunk metadata in the span
+        args, run parameters in the trace metadata.
         """
         if len(scalars) != len(points):
             raise ValueError(
@@ -201,6 +211,8 @@ class DistMsm:
             )
         n = len(scalars)
         if n == 0:
+            if trace is not None and trace.enabled:
+                trace.annotate(curve=curve.name, n=0, gpus=self.system.num_gpus)
             return DistMsmResult(
                 AffinePoint.identity(), 0.0, PhaseTimes(), EventCounters(), 0,
                 make_plan(1, self.system.num_gpus, self.config.multi_gpu),
@@ -209,29 +221,41 @@ class DistMsm:
         s = self.window_size_for(curve, n)
         backend = FunctionalBackend(self, scalars, points, curve)
         if faults is not None and not faults.empty:
-            return self._orchestrate_faulty(backend, curve, n, s, faults)
-        return self._orchestrate(backend, curve, n, s)
+            return self._orchestrate_faulty(backend, curve, n, s, faults, trace)
+        return self._orchestrate(backend, curve, n, s, trace)
 
     def estimate(
-        self, curve: CurveParams, n: int, faults: FaultPlan | None = None
+        self,
+        curve: CurveParams,
+        n: int,
+        faults: FaultPlan | None = None,
+        trace: "Tracer | None" = None,
     ) -> DistMsmResult:
         """Model the execution time for an ``n``-point MSM on this system.
 
         With a ``faults`` plan, models the recovered execution instead and
-        attaches a :class:`~repro.faults.recovery.FaultReport`.
+        attaches a :class:`~repro.faults.recovery.FaultReport`.  ``trace``
+        records the modelled schedule exactly as :meth:`execute` does —
+        the task DAGs are identical, so estimate-mode traces are faithful
+        stand-ins.
         """
         if n <= 0:
             raise ValueError("n must be positive")
         s = self.window_size_for(curve, n)
         backend = AnalyticBackend(self, curve, n)
         if faults is not None and not faults.empty:
-            return self._orchestrate_faulty(backend, curve, n, s, faults)
-        return self._orchestrate(backend, curve, n, s)
+            return self._orchestrate_faulty(backend, curve, n, s, faults, trace)
+        return self._orchestrate(backend, curve, n, s, trace)
 
     # -- the one orchestration body -----------------------------------------
 
     def _orchestrate(
-        self, backend: Backend, curve: CurveParams, n: int, s: int
+        self,
+        backend: Backend,
+        curve: CurveParams,
+        n: int,
+        s: int,
+        trace: "Tracer | None" = None,
     ) -> DistMsmResult:
         """Plan, scatter/sum per assignment, reduce per window, fold.
 
@@ -303,6 +327,8 @@ class DistMsm:
             total_counters.merge(work.sums)
             total_counters.merge(work.reduce)
         total_counters.merge(cpu_counters)
+        if trace is not None and trace.enabled:
+            self._record_trace(trace, backend, curve, n, s, plan, timeline)
         return DistMsmResult(
             point=point,
             time_ms=times.total,
@@ -314,6 +340,56 @@ class DistMsm:
             timeline=timeline,
             breakdown=breakdown,
         )
+
+    def _record_trace(
+        self,
+        trace: "Tracer",
+        backend: Backend,
+        curve: CurveParams,
+        n: int,
+        s: int,
+        plan: Plan,
+        timeline: Timeline,
+        chunks: "list[_Chunk] | None" = None,
+    ) -> None:
+        """Transcribe a finished MSM schedule onto ``trace``.
+
+        Every task span carries the run's window size; per-GPU tasks carry
+        their GPU index; a faulted run's chunk tasks additionally carry
+        their recovery round and the plan slots the chunk covers.
+        """
+        from repro.observe.record import record_timeline
+
+        trace.annotate(
+            curve=curve.name,
+            n=n,
+            window_size=s,
+            gpus=self.system.num_gpus,
+            num_windows=plan.num_windows,
+            strategy=self.config.multi_gpu,
+            mode="execute" if backend.functional else "estimate",
+        )
+        task_args: dict[str, dict] = {}
+        for name in timeline.spans:
+            extra: dict = {"window_size": s}
+            if ":g" in name:
+                tail = name.rsplit(":g", 1)[1]
+                if tail.isdigit():
+                    extra["gpu"] = int(tail)
+            task_args[name] = extra
+        if chunks is not None:
+            for c in chunks:
+                meta = {"round": c.round, "slots": list(c.slots)}
+                prefix = f"msm:r{c.round}"
+                for task in (
+                    f"{prefix}:scatter:g{c.gpu}",
+                    f"{prefix}:sum:g{c.gpu}",
+                    f"{prefix}:reduce:g{c.gpu}",
+                    c.transfer_task,
+                ):
+                    if task in task_args:
+                        task_args[task].update(meta)
+        record_timeline(trace, timeline, task_args)
 
     def _prepare(
         self, backend: Backend, curve: CurveParams, s: int
@@ -531,7 +607,7 @@ class DistMsm:
 
     def _orchestrate_faulty(
         self, backend: Backend, curve: CurveParams, n: int, s: int,
-        faults: FaultPlan,
+        faults: FaultPlan, trace: "Tracer | None" = None,
     ) -> DistMsmResult:
         """Plan, inject the fault schedule, detect, re-plan, stay bit-exact.
 
@@ -759,6 +835,13 @@ class DistMsm:
             total_counters.merge(work.sums)
             total_counters.merge(work.reduce)
         total_counters.merge(cpu_counters)
+        if trace is not None and trace.enabled:
+            self._record_trace(trace, backend, curve, n, s, plan, timeline, chunks)
+            trace.annotate(
+                faulted=True,
+                recovery_rounds=len(rounds),
+                dead_gpus=list(dead),
+            )
         return DistMsmResult(
             point=point,
             time_ms=recovered_ms,

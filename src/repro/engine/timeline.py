@@ -33,9 +33,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.engine.faults import FaultPlan, RetryPolicy, TransferError
 from repro.engine.resources import Resource
+
+if TYPE_CHECKING:
+    from repro.observe.tracer import Tracer
 
 #: scheduling/verification tolerance for time comparisons (milliseconds)
 TIME_EPS = 1e-9
@@ -263,6 +267,7 @@ def simulate(
     stages: tuple[Stage, ...] = (),
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
+    tracer: "Tracer | None" = None,
 ) -> Timeline:
     """Schedule ``tasks`` over their resources; deterministic event loop.
 
@@ -271,6 +276,12 @@ def simulate(
     retries transient transfer errors under ``retry`` (defaults to
     ``RetryPolicy()``); the returned timeline then carries ``failures``
     and ``attempts`` alongside the completed spans.
+
+    With a :class:`~repro.observe.tracer.Tracer`, the finished timeline is
+    transcribed onto it (one span per task, retries, fault instants) —
+    after the event loop, so the scheduling path itself never pays for
+    tracing; with ``tracer=None`` (the default) no tracing object of any
+    kind is touched.
     """
     task_list = tuple(tasks)
     by_name: dict[str, Task] = {}
@@ -427,7 +438,14 @@ def simulate(
         ),
         default=0.0,
     )
-    return Timeline(task_list, spans, total, stages, binding, tuple(failures), tuple(attempts))
+    timeline = Timeline(
+        task_list, spans, total, stages, binding, tuple(failures), tuple(attempts)
+    )
+    if tracer is not None and tracer.enabled:
+        from repro.observe.record import record_timeline
+
+        record_timeline(tracer, timeline)
+    return timeline
 
 
 class TimelineBuilder:
@@ -481,8 +499,11 @@ class TimelineBuilder:
         self._stage_tasks = []
 
     def build(
-        self, faults: FaultPlan | None = None, retry: RetryPolicy | None = None
+        self,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        tracer: "Tracer | None" = None,
     ) -> Timeline:
         self._close_stage()
         self._stage_name = None
-        return simulate(self._tasks, tuple(self._stages), faults, retry)
+        return simulate(self._tasks, tuple(self._stages), faults, retry, tracer)

@@ -1,0 +1,276 @@
+"""Structured span/event tracing for the simulated stack.
+
+One :class:`Tracer` collects everything a performance investigation needs
+from a simulated run — per-task spans on resource tracks, request
+life-cycle spans on per-request lanes, instant events (faults, sheds),
+counter samples — in *simulated* milliseconds, with explicit timestamps
+(there is no wall clock anywhere in the reproduction).
+
+Design rules:
+
+* **Zero overhead when disabled.**  Producers guard every emission with
+  ``if tracer is not None and tracer.enabled:`` (or hand out
+  :data:`NULL_TRACER`, whose methods are no-ops), so an untraced run
+  allocates no span, no dict, nothing — asserted by a test.
+* **Append-only, deterministic.**  Spans are value objects; export orders
+  are fully determined by (time, track, name), which is what makes the
+  golden-trace regression tests byte-stable.
+* **Auditable.**  :mod:`repro.verify.observecheck` re-derives nothing: it
+  takes the finished trace (and optionally the engine timeline it was
+  recorded from) and replays the invariants — well-formed nesting, one
+  span per executed task, busy-time and makespan agreement.
+
+The Chrome trace-event export lives in :mod:`repro.observe.chrome`; the
+timeline/serve recording helpers in :mod:`repro.observe.record`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Span", "InstantEvent", "CounterSample", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced interval on one track (a resource lane or request lane).
+
+    ``cat`` is the phase category (``"scatter"``, ``"transfer"``,
+    ``"request"``, ...) used for flame-style aggregation and Chrome
+    colouring; ``args`` carries span metadata (window size, chunk round,
+    batch id, ...), kept as a plain dict for export.
+    """
+
+    name: str
+    track: str
+    start_ms: float
+    end_ms: float
+    cat: str = ""
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.start_ms) and math.isfinite(self.end_ms)):
+            raise ValueError(f"span {self.name!r}: non-finite bounds")
+        if self.end_ms < self.start_ms:
+            raise ValueError(
+                f"span {self.name!r}: ends at {self.end_ms} before start {self.start_ms}"
+            )
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True)
+class InstantEvent:
+    """One point-in-time event (a fault, a shed decision, a completion)."""
+
+    name: str
+    track: str
+    at_ms: float
+    cat: str = ""
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One sample of a named scalar counter at a point in simulated time."""
+
+    name: str
+    at_ms: float
+    value: float
+
+
+class Tracer:
+    """Span/event collector with a per-track span stack and counters.
+
+    Two emission styles:
+
+    * ``add_span(name, track, start, end)`` — complete spans, what the
+      timeline recorders use (the engine already knows both endpoints);
+    * ``begin(name, track, at)`` / ``end(track, at)`` — a span *stack* per
+      track for code that brackets phases as it goes; nesting is recorded
+      and audited (a child must close before its parent).
+    """
+
+    enabled: bool = True
+
+    def __init__(self, label: str = "trace") -> None:
+        self.label = label
+        self.spans: list[Span] = []
+        self.instants: list[InstantEvent] = []
+        self.counters: list[CounterSample] = []
+        self.meta: dict[str, Any] = {}
+        self._stack: dict[str, list[tuple[str, float, str, dict[str, Any]]]] = {}
+
+    # -- emission ------------------------------------------------------------
+
+    def add_span(
+        self,
+        name: str,
+        track: str,
+        start_ms: float,
+        end_ms: float,
+        cat: str = "",
+        args: Mapping[str, Any] | None = None,
+    ) -> Span:
+        """Record one complete span."""
+        span = Span(name, track, start_ms, end_ms, cat, dict(args or {}))
+        self.spans.append(span)
+        return span
+
+    def begin(
+        self,
+        name: str,
+        track: str,
+        at_ms: float,
+        cat: str = "",
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Open a span on ``track``'s stack; close it with :meth:`end`."""
+        self._stack.setdefault(track, []).append((name, at_ms, cat, dict(args or {})))
+
+    def end(self, track: str, at_ms: float) -> Span:
+        """Close the innermost open span on ``track``."""
+        stack = self._stack.get(track)
+        if not stack:
+            raise ValueError(f"end() on track {track!r} with no open span")
+        name, start_ms, cat, args = stack.pop()
+        return self.add_span(name, track, start_ms, at_ms, cat, args)
+
+    def instant(
+        self,
+        name: str,
+        track: str,
+        at_ms: float,
+        cat: str = "",
+        args: Mapping[str, Any] | None = None,
+    ) -> InstantEvent:
+        """Record one point-in-time event."""
+        event = InstantEvent(name, track, at_ms, cat, dict(args or {}))
+        self.instants.append(event)
+        return event
+
+    def counter(self, name: str, at_ms: float, value: float) -> None:
+        """Sample a named scalar counter."""
+        self.counters.append(CounterSample(name, at_ms, value))
+
+    def annotate(self, **meta: Any) -> None:
+        """Attach run-level metadata (window size, GPU count, ...)."""
+        self.meta.update(meta)
+
+    # -- introspection -------------------------------------------------------
+
+    def open_spans(self) -> list[tuple[str, str]]:
+        """(track, name) of every span begun but never ended."""
+        return [
+            (track, name)
+            for track, stack in sorted(self._stack.items())
+            for (name, _start, _cat, _args) in stack
+        ]
+
+    @property
+    def tracks(self) -> list[str]:
+        """Every track that carries at least one span or instant, sorted."""
+        names = {s.track for s in self.spans} | {e.track for e in self.instants}
+        return sorted(names)
+
+    def makespan_ms(self) -> float:
+        """Latest timestamp across spans and instants (0 for an empty trace)."""
+        return max(
+            (
+                *(s.end_ms for s in self.spans),
+                *(e.at_ms for e in self.instants),
+            ),
+            default=0.0,
+        )
+
+    def busy_ms(self) -> dict[str, float]:
+        """Total span wall-time per track."""
+        busy: dict[str, float] = {}
+        for span in self.spans:
+            busy[span.track] = busy.get(span.track, 0.0) + span.duration_ms
+        return busy
+
+    def category_ms(self) -> dict[str, float]:
+        """Total span wall-time per category (the flamegraph aggregation)."""
+        totals: dict[str, float] = {}
+        for span in self.spans:
+            cat = span.cat or "uncategorised"
+            totals[cat] = totals.get(cat, 0.0) + span.duration_ms
+        return totals
+
+    def spans_on(self, track: str) -> list[Span]:
+        """Spans of one track, in (start, end, name) order."""
+        return sorted(
+            (s for s in self.spans if s.track == track),
+            key=lambda s: (s.start_ms, s.end_ms, s.name),
+        )
+
+    # -- export --------------------------------------------------------------
+
+    def to_chrome_json(self, indent: int | None = None) -> str:
+        """Chrome trace-event JSON (``chrome://tracing`` / Perfetto)."""
+        from repro.observe.chrome import to_chrome_json
+
+        return to_chrome_json(self, indent=indent)
+
+    def summary(self, width: int = 48) -> str:
+        """ASCII flamegraph-style summary: per-category and per-track bars."""
+        from repro.analysis.ascii_plot import ascii_bars
+
+        lines = [f"trace {self.label!r}: {len(self.spans)} spans on "
+                 f"{len(self.tracks)} tracks, makespan {self.makespan_ms():.3f} ms"]
+        if self.meta:
+            pairs = ", ".join(f"{k}={self.meta[k]}" for k in sorted(self.meta))
+            lines.append(f"  meta: {pairs}")
+        cats = self.category_ms()
+        if cats:
+            lines.append(ascii_bars(cats, width=width, title="span time by phase (ms)"))
+        busy = self.busy_ms()
+        if busy:
+            lines.append(ascii_bars(busy, width=width, title="span time by track (ms)"))
+        if self.instants:
+            lines.append(f"  {len(self.instants)} instant event(s): " + ", ".join(
+                f"{e.name}@{e.at_ms:.3f}" for e in sorted(
+                    self.instants, key=lambda e: (e.at_ms, e.track, e.name)
+                )[:8]
+            ) + ("..." if len(self.instants) > 8 else ""))
+        return "\n".join(lines)
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every method is a no-op, nothing is allocated.
+
+    Producers may test ``tracer.enabled`` (all of them do) or call the
+    emission API directly; either way no span, event, or dict is created.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(label="null")
+
+    def add_span(self, name, track, start_ms, end_ms, cat="", args=None):  # type: ignore[override]
+        return None  # type: ignore[return-value]
+
+    def begin(self, name, track, at_ms, cat="", args=None):  # type: ignore[override]
+        return None
+
+    def end(self, track, at_ms):  # type: ignore[override]
+        return None  # type: ignore[return-value]
+
+    def instant(self, name, track, at_ms, cat="", args=None):  # type: ignore[override]
+        return None  # type: ignore[return-value]
+
+    def counter(self, name, at_ms, value):  # type: ignore[override]
+        return None
+
+    def annotate(self, **meta):  # type: ignore[override]
+        return None
+
+
+#: the shared disabled tracer — pass it anywhere a trace is optional
+NULL_TRACER = NullTracer()

@@ -17,26 +17,14 @@ interpolation), so reported tails are values that actually occurred.
 from __future__ import annotations
 
 import json
-import math
 from dataclasses import dataclass, field
 
 from repro.curves.point import AffinePoint
+
+# The nearest-rank percentile now lives in repro.observe.stats; this
+# re-export keeps ``from repro.serve.metrics import percentile`` working.
+from repro.observe.stats import percentile
 from repro.serve.admission import ShedEvent
-
-
-def percentile(values: list[float], q: float) -> float:
-    """Nearest-rank percentile: the smallest value with ``q``% at or below.
-
-    ``q`` in [0, 100]; empty input returns 0.0 (an empty SLO report, not
-    an error).
-    """
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile q must be in [0, 100], got {q}")
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
 
 
 @dataclass

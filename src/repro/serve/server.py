@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.config import DistMsmConfig
 from repro.core.distmsm import DistMsm
@@ -55,6 +56,9 @@ from repro.serve.batcher import (
 from repro.serve.metrics import RequestRecord, ServeMetrics
 from repro.serve.plancache import CachedPlan, PlanCache, cache_report
 from repro.serve.queue import ClosedLoopSource, ProofRequest, RequestQueue
+
+if TYPE_CHECKING:
+    from repro.observe.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -216,6 +220,7 @@ class MsmProofServer:
         self,
         workload: list[ProofRequest] | ClosedLoopSource,
         faults: FaultPlan | None = None,
+        trace: "Tracer | None" = None,
     ) -> ServeResult:
         """Serve a workload; returns the full audited result.
 
@@ -223,6 +228,12 @@ class MsmProofServer:
         front).  Closed loop: a :class:`ClosedLoopSource`, asked for each
         client's next request as its previous response completes.
         Deterministic either way.
+
+        With a ``trace`` (:class:`~repro.observe.tracer.Tracer`), the
+        run is transcribed onto it: every engine task on its resource
+        track, plus one lane per request with its life-cycle spans
+        (queued → batched → executing → done) and shed instants on the
+        admission track.
         """
         if faults is not None and faults.gpu_death_times():
             alive = set(range(self.system.num_gpus)) - set(faults.gpu_death_times())
@@ -363,7 +374,7 @@ class MsmProofServer:
 
         timeline = self._resolve(tasks, emissions, faults, retry, group_free)
         return self._finish(
-            submitted, emissions, results, admission, batcher, timeline, faults
+            submitted, emissions, results, admission, batcher, timeline, faults, trace
         )
 
     # -- emission and fault recovery -----------------------------------------
@@ -524,6 +535,7 @@ class MsmProofServer:
         batcher: ContinuousBatcher,
         timeline: Timeline,
         faults: FaultPlan | None,
+        trace: "Tracer | None" = None,
     ) -> ServeResult:
         records: list[RequestRecord] = []
         for req_id in sorted(emissions):
@@ -564,6 +576,8 @@ class MsmProofServer:
             utilization=timeline.utilization(),
             caches=cache_report(self.plan_cache),
         )
+        if trace is not None and trace.enabled:
+            self._record_trace(trace, records, admission.shed, timeline)
         return ServeResult(
             requests=submitted,
             records=records,
@@ -575,6 +589,55 @@ class MsmProofServer:
             emissions=emissions,
         )
 
+    def _record_trace(
+        self,
+        trace: "Tracer",
+        records: list[RequestRecord],
+        shed: list[ShedEvent],
+        timeline: Timeline,
+    ) -> None:
+        """Transcribe a finished serving run onto ``trace``.
+
+        Engine tasks land on their resource tracks via
+        :func:`~repro.observe.record.record_timeline`; each request gets
+        its own ``req{id}`` lane with queued → batched → executing spans
+        and a ``done`` instant; shed requests get instants on the
+        ``admission`` track with their reason.
+        """
+        from repro.observe.record import record_timeline
+
+        trace.annotate(
+            gpus=self.system.num_gpus,
+            gpu_groups=len(self.groups),
+            served=len(records),
+            shed=len(shed),
+        )
+        record_timeline(trace, timeline)
+        for record in records:
+            lane = f"req{record.req_id}"
+            args = {"batch": record.batch_id, "group": record.group, "n": record.n}
+            trace.add_span(
+                "queued", lane, record.arrival_ms, record.formed_ms,
+                cat="request", args=args,
+            )
+            trace.add_span(
+                "batched", lane, record.formed_ms, record.admit_ms,
+                cat="request", args=args,
+            )
+            trace.add_span(
+                "executing", lane, record.admit_ms, record.complete_ms,
+                cat="request", args={**args, "retries": record.retries},
+            )
+            trace.instant("done", lane, record.complete_ms, cat="request")
+        for event in sorted(shed, key=lambda e: (e.at_ms, e.request.req_id)):
+            trace.instant(
+                f"req{event.request.req_id}:shed",
+                "admission",
+                event.at_ms,
+                cat="shed",
+                args={"reason": event.reason},
+            )
+
 
 def serve_one_at_a_time(
     system: MultiGpuSystem,
@@ -582,6 +645,7 @@ def serve_one_at_a_time(
     config: DistMsmConfig | None = None,
     plan_cache: PlanCache | None = None,
     faults: FaultPlan | None = None,
+    trace: "Tracer | None" = None,
 ) -> ServeResult:
     """The FCFS baseline: one request at a time, no overlap anywhere.
 
@@ -601,4 +665,4 @@ def serve_one_at_a_time(
         ),
         plan_cache=plan_cache,
     )
-    return server.serve(requests, faults=faults)
+    return server.serve(requests, faults=faults, trace=trace)

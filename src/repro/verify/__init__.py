@@ -17,7 +17,10 @@ produced them.  Three checkers:
   dependency order, resource exclusivity, makespan claims (fault-aware);
 * :mod:`repro.verify.faultcheck` — recovered chaos timelines: no
   post-mortem scheduling on dead resources, exponential-backoff spacing
-  of transfer retries, honest makespan accounting.
+  of transfer retries, honest makespan accounting;
+* :mod:`repro.verify.observecheck` — traces: well-formed nesting, one
+  span per executed task, busy-time and makespan agreement with the
+  timeline, phase-serial stage tiling.
 
 ``python -m repro.verify`` runs all of it over every registered kernel and
 baseline; :mod:`repro.verify.fixtures` holds the injected faults that prove
@@ -29,11 +32,17 @@ from repro.verify.driver import (
     verify_bucket_sum,
     verify_fault_recovery,
     verify_kernel_schedules,
+    verify_observability,
     verify_scatter_config,
     verify_spill_plans,
 )
 from repro.verify.faultcheck import FaultCheckResult, verify_fault_timeline
 from repro.verify.fixtures import FIXTURES, run_fixture
+from repro.verify.observecheck import (
+    ObserveCheckResult,
+    verify_trace,
+    verify_trace_against_timeline,
+)
 from repro.verify.races import (
     RaceCheckResult,
     detect_races,
@@ -59,6 +68,7 @@ __all__ = [
     "FIXTURES",
     "FaultCheckResult",
     "LiveInterval",
+    "ObserveCheckResult",
     "RaceCheckResult",
     "ScheduleCheckResult",
     "SpillCheckResult",
@@ -77,8 +87,11 @@ __all__ = [
     "verify_fault_recovery",
     "verify_fault_timeline",
     "verify_kernel_schedules",
+    "verify_observability",
     "verify_scatter_config",
     "verify_schedule",
     "verify_spill_plan",
     "verify_spill_plans",
+    "verify_trace",
+    "verify_trace_against_timeline",
 ]

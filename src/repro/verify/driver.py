@@ -353,6 +353,80 @@ def verify_serving(report: VerificationReport | None = None) -> VerificationRepo
     return report
 
 
+def verify_observability(report: VerificationReport | None = None) -> VerificationReport:
+    """Trace a 2-GPU MSM and a small serve run, then audit the traces.
+
+    The MSM trace is checked against its timeline with the phase-serial
+    tiling rule (stage-envelope durations sum to the makespan within
+    1e-9); the serve trace carries request life-cycle lanes on top of the
+    engine tasks; both must round-trip through the Chrome export.
+    """
+    import json
+
+    from repro.core.distmsm import DistMsm
+    from repro.gpu.cluster import MultiGpuSystem
+    from repro.observe import Tracer, to_chrome_trace
+    from repro.serve import MsmProofServer, ServeConfig, poisson_trace
+    from repro.verify.observecheck import verify_trace_against_timeline
+
+    report = report or VerificationReport()
+    curve = curve_by_name("BLS12-381")
+    config = DistMsmConfig(window_size=10)
+
+    trace = Tracer("msm-2gpu")
+    est = DistMsm(MultiGpuSystem(2), config).estimate(curve, 1 << 16, trace=trace)
+    assert est.timeline is not None
+    checked = verify_trace_against_timeline(
+        trace, est.timeline, subject="traced 2-GPU estimate", phase_serial=True
+    )
+    report.extend(checked.violations)
+    report.add_check(
+        f"2-GPU MSM trace faithful ({checked.spans} spans on "
+        f"{checked.tracks} tracks, makespan {trace.makespan_ms():.3f} ms)"
+    )
+
+    serve_trace = Tracer("serve-smoke")
+    workload = poisson_trace(curve, count=3, rate_rps=200.0, seed=7, sizes=1 << 14)
+    server = MsmProofServer(
+        MultiGpuSystem(2), config, ServeConfig(max_batch_size=2)
+    )
+    served = server.serve(workload, trace=serve_trace)
+    checked = verify_trace_against_timeline(
+        serve_trace, served.timeline, subject="traced serve run"
+    )
+    report.extend(checked.violations)
+    report.add_check(
+        f"serve trace faithful ({checked.spans} spans, "
+        f"{served.metrics.served} requests on lanes)"
+    )
+
+    for label, t in (("msm", trace), ("serve", serve_trace)):
+        exported = json.loads(t.to_chrome_json())
+        if exported != to_chrome_trace(t):
+            from repro.verify.report import Violation
+
+            report.extend([
+                Violation(
+                    "observe",
+                    f"{label} chrome export",
+                    "JSON export does not round-trip to the trace dict",
+                )
+            ])
+        x_events = sum(1 for e in exported["traceEvents"] if e["ph"] == "X")
+        if x_events != len(t.spans):
+            from repro.verify.report import Violation
+
+            report.extend([
+                Violation(
+                    "observe",
+                    f"{label} chrome export",
+                    f"{x_events} duration events for {len(t.spans)} spans",
+                )
+            ])
+    report.add_check("chrome exports round-trip with one duration event per span")
+    return report
+
+
 def verify_all() -> VerificationReport:
     """Verify every registered kernel and baseline configuration."""
     report = VerificationReport()
@@ -371,4 +445,5 @@ def verify_all() -> VerificationReport:
     verify_timelines(report)
     verify_fault_recovery(report)
     verify_serving(report)
+    verify_observability(report)
     return report

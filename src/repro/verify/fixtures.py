@@ -26,14 +26,18 @@ checker rejects it with a diagnostic naming the offending op or address.
 * ``serve-before-arrival`` — a serving run whose timeline starts a
   request's GPU stage before the request arrived AND executes a request
   the admission controller shed (a batcher reading the trace instead of
-  the queue would produce exactly this).
+  the queue would produce exactly this);
+* ``trace-drift`` — a trace whose recorder stretched one span past its
+  scheduled interval, so busy time and makespan no longer reconcile with
+  the engine timeline (a recorder applying a unit conversion twice would
+  produce exactly this).
 """
 
 from __future__ import annotations
 
 from repro.engine.faults import FaultPlan, GpuFailure, RetryPolicy, TransferError
 from repro.engine.resources import GPU_COMPUTE, HOST_CPU, TRANSFER, Resource
-from repro.engine.timeline import Task, TaskAttempt, TaskSpan, Timeline
+from repro.engine.timeline import Task, TaskAttempt, TaskSpan, Timeline, simulate
 from repro.kernels.dag import build_pacc_dag
 from repro.kernels.scheduler import find_optimal_schedule
 from repro.kernels.spill import SpillPlan, plan_spills
@@ -216,6 +220,36 @@ def broken_serving_check() -> "ServeCheckResult":
     )
 
 
+def broken_trace_check() -> "ObserveCheckResult":
+    """A transcription that drifted: one span stretched past its schedule.
+
+    The trace of a two-GPU timeline has gpu1's bucket-sum span silently
+    lengthened by half a millisecond, so its interval, the resource's
+    busy time, and the trace makespan all disagree with the engine.
+    """
+    from repro.observe import Span, Tracer, record_timeline
+    from repro.verify.observecheck import ObserveCheckResult, verify_trace_against_timeline
+
+    gpu0 = Resource("gpu0", GPU_COMPUTE, 0)
+    gpu1 = Resource("gpu1", GPU_COMPUTE, 1)
+    timeline = simulate(
+        (
+            Task("msm:scatter:g0", gpu0, 2.0),
+            Task("msm:scatter:g1", gpu1, 2.0),
+            Task("msm:sum:g1", gpu1, 3.0, deps=("msm:scatter:g1",)),
+        )
+    )
+    trace = Tracer("drifted")
+    record_timeline(trace, timeline)
+    victim = next(i for i, s in enumerate(trace.spans) if s.name == "msm:sum:g1")
+    s = trace.spans[victim]
+    # the drift: +0.5 ms appended to the recorded end
+    trace.spans[victim] = Span(s.name, s.track, s.start_ms, s.end_ms + 0.5, s.cat, dict(s.args))
+    return verify_trace_against_timeline(
+        trace, timeline, subject="trace with a stretched span"
+    )
+
+
 #: fixture name -> callable returning a checker result that must FAIL
 FIXTURES = {
     "register-peak": broken_schedule_check,
@@ -225,6 +259,7 @@ FIXTURES = {
     "post-mortem-schedule": broken_recovery_check,
     "backoff-violation": broken_backoff_check,
     "serve-before-arrival": broken_serving_check,
+    "trace-drift": broken_trace_check,
 }
 
 

@@ -1,0 +1,58 @@
+"""Differential: functional and analytic runs build the SAME task DAG.
+
+Estimate-mode traces are only trustworthy stand-ins for execute-mode ones
+if both paths emit identical graph *structure* (task names, dependency
+edges, resources, stages) — durations legitimately differ (measured vs
+closed-form counts), but the shape may not.
+"""
+
+import pytest
+
+from repro.core.config import DistMsmConfig
+from repro.core.distmsm import DistMsm
+from repro.curves.sampling import msm_instance
+from repro.engine.faults import FaultPlan, GpuFailure
+from repro.gpu.cluster import MultiGpuSystem
+from repro.observe import Tracer
+
+
+def _dag_shape(timeline):
+    """The structural fingerprint of a timeline's task graph."""
+    return sorted(
+        (task.name, tuple(sorted(task.deps)), task.resource.name, task.stage)
+        for task in timeline.tasks
+    )
+
+
+@pytest.mark.parametrize("gpus", [1, 2, 4])
+@pytest.mark.parametrize("n", [24, 64])
+def test_functional_and_analytic_dags_identical(toy_curve_fixture, gpus, n):
+    config = DistMsmConfig(window_size=4, threads_per_block=32, points_per_thread=4)
+    engine = DistMsm(MultiGpuSystem(gpus), config)
+    scalars, points = msm_instance(toy_curve_fixture, n, seed=n + gpus)
+    executed = engine.execute(scalars, points, toy_curve_fixture)
+    estimated = engine.estimate(toy_curve_fixture, n)
+    assert _dag_shape(executed.timeline) == _dag_shape(estimated.timeline)
+
+
+def test_faulted_dags_identical_too(toy_curve_fixture):
+    """Recovery re-planning is backend-independent as well."""
+    config = DistMsmConfig(window_size=4, threads_per_block=32, points_per_thread=4)
+    faults = FaultPlan.of(GpuFailure(0.0, 1))
+    engine = DistMsm(MultiGpuSystem(4), config)
+    scalars, points = msm_instance(toy_curve_fixture, 24, seed=5)
+    executed = engine.execute(scalars, points, toy_curve_fixture, faults=faults)
+    estimated = engine.estimate(toy_curve_fixture, 24, faults=faults)
+    assert _dag_shape(executed.timeline) == _dag_shape(estimated.timeline)
+
+
+def test_traces_share_span_names(toy_curve_fixture):
+    """Consequence for observe: both traces carry the same span names."""
+    config = DistMsmConfig(window_size=4, threads_per_block=32, points_per_thread=4)
+    engine = DistMsm(MultiGpuSystem(2), config)
+    scalars, points = msm_instance(toy_curve_fixture, 24, seed=9)
+    t_exec, t_est = Tracer("exec"), Tracer("est")
+    engine.execute(scalars, points, toy_curve_fixture, trace=t_exec)
+    engine.estimate(toy_curve_fixture, 24, trace=t_est)
+    assert sorted(s.name for s in t_exec.spans) == sorted(s.name for s in t_est.spans)
+    assert t_exec.meta["mode"] == "execute" and t_est.meta["mode"] == "estimate"

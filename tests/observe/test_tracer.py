@@ -1,0 +1,99 @@
+"""Tracer core: span collection, stacks, aggregation, the null tracer."""
+
+import pytest
+
+from repro.observe import NULL_TRACER, NullTracer, Span, Tracer
+
+
+class TestSpan:
+    def test_duration(self):
+        assert Span("t", "gpu0", 1.0, 3.5).duration_ms == 2.5
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Span("t", "gpu0", 3.0, 1.0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            Span("t", "gpu0", 0.0, float("inf"))
+
+
+class TestTracer:
+    def test_add_span_collects(self):
+        t = Tracer()
+        t.add_span("a", "gpu0", 0.0, 1.0, cat="scatter")
+        t.add_span("b", "gpu1", 0.5, 2.0)
+        assert [s.name for s in t.spans] == ["a", "b"]
+        assert t.tracks == ["gpu0", "gpu1"]
+        assert t.makespan_ms() == 2.0
+
+    def test_begin_end_stack(self):
+        t = Tracer()
+        t.begin("outer", "cpu", 0.0, cat="request")
+        t.begin("inner", "cpu", 1.0)
+        inner = t.end("cpu", 2.0)
+        outer = t.end("cpu", 5.0)
+        assert (inner.name, inner.start_ms, inner.end_ms) == ("inner", 1.0, 2.0)
+        assert (outer.name, outer.start_ms, outer.end_ms) == ("outer", 0.0, 5.0)
+        assert t.open_spans() == []
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(ValueError):
+            Tracer().end("cpu", 1.0)
+
+    def test_open_spans_reported(self):
+        t = Tracer()
+        t.begin("leak", "gpu0", 0.0)
+        assert t.open_spans() == [("gpu0", "leak")]
+
+    def test_busy_and_category_totals(self):
+        t = Tracer()
+        t.add_span("a", "gpu0", 0.0, 1.0, cat="scatter")
+        t.add_span("b", "gpu0", 1.0, 4.0, cat="bucket-sum")
+        t.add_span("c", "gpu1", 0.0, 2.0, cat="scatter")
+        assert t.busy_ms() == {"gpu0": 4.0, "gpu1": 2.0}
+        assert t.category_ms() == {"scatter": 3.0, "bucket-sum": 3.0}
+
+    def test_instants_and_counters(self):
+        t = Tracer()
+        t.instant("fault", "gpu0", 3.0, cat="fault", args={"reason": "killed"})
+        t.counter("queue_depth", 1.0, 4.0)
+        assert t.instants[0].args == {"reason": "killed"}
+        assert t.counters[0].value == 4.0
+        # instants extend the makespan even with no spans
+        assert t.makespan_ms() == 3.0
+
+    def test_annotate_merges_meta(self):
+        t = Tracer()
+        t.annotate(curve="BLS12-381", gpus=2)
+        t.annotate(gpus=4)
+        assert t.meta == {"curve": "BLS12-381", "gpus": 4}
+
+    def test_empty_makespan_is_zero(self):
+        assert Tracer().makespan_ms() == 0.0
+
+    def test_summary_mentions_phases(self):
+        t = Tracer("demo")
+        t.add_span("a", "gpu0", 0.0, 1.0, cat="scatter")
+        t.add_span("b", "gpu0", 1.0, 2.0, cat="transfer")
+        text = t.summary()
+        assert "demo" in text
+        assert "scatter" in text and "transfer" in text
+        assert "gpu0" in text
+
+
+class TestNullTracer:
+    def test_every_emission_is_a_noop(self):
+        t = NullTracer()
+        assert not t.enabled
+        t.add_span("a", "gpu0", 0.0, 1.0)
+        t.begin("b", "gpu0", 0.0)
+        t.end("gpu0", 1.0)
+        t.instant("c", "gpu0", 0.5)
+        t.counter("d", 0.0, 1.0)
+        t.annotate(x=1)
+        assert t.spans == [] and t.instants == [] and t.counters == []
+        assert t.meta == {} and t.open_spans() == []
+
+    def test_shared_singleton_disabled(self):
+        assert not NULL_TRACER.enabled

@@ -49,6 +49,7 @@ class TestInjectedFaults:
             "scatter-race",
             "timeline-overlap",
             "serve-before-arrival",
+            "trace-drift",
         ],
     )
     def test_fault_is_caught_with_nonzero_exit(self, fixture):
