@@ -1,8 +1,9 @@
 # Local CI gate for the DistMSM reproduction.
 #
 # `make ci` runs, in order: ruff (lint), mypy (typecheck, scoped to the
-# packages pyproject.toml names), the repro.verify static-analysis pass,
-# and the tier-1 test suite.  ruff and mypy are optional dev extras — when
+# packages pyproject.toml names), the repro.analyze whole-program static
+# analyzer (report written to results/analyze_report.json), the
+# repro.verify pass, the smoke benchmarks, and the tier-1 test suite.  ruff and mypy are optional dev extras — when
 # they are not installed the corresponding step is skipped with a notice
 # instead of failing, so the gate works in offline environments that only
 # carry the runtime deps.
@@ -10,9 +11,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: ci lint typecheck verify bench-smoke chaos-smoke serve-smoke trace-smoke test
+.PHONY: ci lint typecheck analyze verify bench-smoke chaos-smoke serve-smoke trace-smoke test
 
-ci: lint typecheck verify bench-smoke chaos-smoke serve-smoke trace-smoke test
+ci: lint typecheck analyze verify bench-smoke chaos-smoke serve-smoke trace-smoke test
 	@echo "ci: all gates passed"
 
 lint:
@@ -30,6 +31,10 @@ typecheck:
 	else \
 		echo "== mypy not installed; skipping typecheck (pip install mypy)"; \
 	fi
+
+analyze:
+	@echo "== python -m repro.analyze src/repro"
+	@$(PYTHON) -m repro.analyze src/repro --json -o results/analyze_report.json
 
 verify:
 	@echo "== python -m repro.verify"

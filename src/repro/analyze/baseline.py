@@ -1,0 +1,94 @@
+"""Per-rule suppression baseline for the static analyzer.
+
+A baseline is a JSON file listing findings that are *known and accepted*;
+matched findings are reported as suppressed and do not fail the run.  The
+repo ships an **empty** baseline (``src/repro/analyze/baseline.json``) —
+the tree is seed-clean and must stay that way; the mechanism exists so a
+future PR that introduces a deliberate exception can record it explicitly
+instead of weakening a rule.
+
+Matching is structural, not positional: a suppression names a rule and a
+path *suffix* (so baselines survive checkouts at different roots), plus
+optionally a line and a message substring.  Unknown rule names are
+rejected at load time — a typo'd suppression that silently matches
+nothing is worse than an error.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analyze.finding import Finding
+from repro.analyze.registry import rule_names
+
+#: the packaged default baseline (empty — the tree is seed-clean)
+DEFAULT_BASELINE = Path(__file__).with_name("baseline.json")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One accepted finding: rule + path suffix (+ optional line/message)."""
+
+    rule: str
+    path: str
+    line: int | None = None
+    contains: str | None = None
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.rule != self.rule:
+            return False
+        if not finding.path.endswith(self.path):
+            return False
+        if self.line is not None and finding.line != self.line:
+            return False
+        if self.contains is not None and self.contains not in finding.message:
+            return False
+        return True
+
+
+def load_baseline(path: str | Path | None = None) -> tuple[Suppression, ...]:
+    """Load and validate a baseline file (default: the packaged one)."""
+    baseline_path = Path(path) if path is not None else DEFAULT_BASELINE
+    data = json.loads(baseline_path.read_text())
+    entries = data.get("suppressions")
+    if not isinstance(entries, list):
+        raise ValueError(
+            f"{baseline_path}: baseline must carry a 'suppressions' list"
+        )
+    known = set(rule_names())
+    suppressions = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "rule" not in entry or "path" not in entry:
+            raise ValueError(
+                f"{baseline_path}: suppression #{i} needs 'rule' and 'path'"
+            )
+        if entry["rule"] not in known:
+            raise ValueError(
+                f"{baseline_path}: suppression #{i} names unknown rule "
+                f"{entry['rule']!r}"
+            )
+        suppressions.append(
+            Suppression(
+                rule=entry["rule"],
+                path=entry["path"],
+                line=entry.get("line"),
+                contains=entry.get("contains"),
+            )
+        )
+    return tuple(suppressions)
+
+
+def apply_baseline(
+    findings: list[Finding], suppressions: tuple[Suppression, ...]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (active, suppressed) under the baseline."""
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        if any(s.matches(finding) for s in suppressions):
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    return active, suppressed

@@ -1,0 +1,135 @@
+"""Finding records and report aggregation for the static analyzer.
+
+Every pass in :mod:`repro.analyze` reports problems as :class:`Finding`
+values rather than raising: one analysis run collects *all* findings
+across all files and program artifacts, applies the suppression baseline,
+and the CLI maps any unsuppressed finding to a non-zero exit status —
+the same collect-then-judge shape as :mod:`repro.verify`'s
+:class:`~repro.verify.report.VerificationReport`, but keyed by source
+location instead of kernel subject.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: finding severities, most severe first
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant the analyzer could not discharge.
+
+    Attributes
+    ----------
+    rule:
+        Registered rule name, e.g. ``"det-unseeded-rng"`` (see
+        :mod:`repro.analyze.registry`).
+    path:
+        Source file the finding is anchored to, or an artifact label in
+        angle brackets (``"<PACC dag>"``, ``"<plan>"``) for program-level
+        findings with no file.
+    line:
+        1-based source line; 0 for program-level findings.
+    message:
+        Human-readable description of the broken invariant.
+    severity:
+        ``"error"`` (the tree must not ship with it) or ``"warning"``.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run: findings, suppressions, checks.
+
+    ``findings`` are active (unsuppressed); ``suppressed`` were matched by
+    the baseline and do not affect :attr:`ok`.  ``checks`` lists every
+    discharged proof obligation (interval bounds, register peaks, plan
+    validations) the way the verify report lists passing checks.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    checks: list[str] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def add_check(self, description: str) -> None:
+        self.checks.append(description)
+
+    def extend(self, findings: list[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def counts_by_rule(self) -> dict[str, int]:
+        """Active finding count per rule name (sorted keys, zero-free)."""
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return {rule: counts[rule] for rule in sorted(counts)}
+
+    def sorted_findings(self) -> list[Finding]:
+        """Deterministic presentation order: path, line, rule, message."""
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.rule, f.message)
+        )
+
+    def render(self, verbose: bool = False) -> str:
+        lines = []
+        if verbose or self.ok:
+            for check in self.checks:
+                lines.append(f"  ok: {check}")
+        for f in self.sorted_findings():
+            lines.append(f"  {f.severity.upper()} {f}")
+        status = "CLEAN" if self.ok else "DIRTY"
+        lines.append(
+            f"{status}: {self.files} files, {len(self.checks)} checks, "
+            f"{len(self.findings)} findings "
+            f"({len(self.suppressed)} suppressed)"
+        )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files": self.files,
+            "checks": list(self.checks),
+            "counts_by_rule": self.counts_by_rule(),
+            "findings": [f.as_dict() for f in self.sorted_findings()],
+            "suppressed": [
+                f.as_dict()
+                for f in sorted(
+                    self.suppressed,
+                    key=lambda f: (f.path, f.line, f.rule, f.message),
+                )
+            ],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)

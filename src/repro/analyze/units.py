@@ -1,0 +1,295 @@
+"""Unit-consistency dataflow: track ``_ms``/``_bytes``/``_count`` suffixes.
+
+The codebase encodes physical units in names — ``duration_ms``,
+``size_bytes``, ``window_count`` — because everything is plain ``float``/
+``int`` at runtime.  That convention is only as strong as the weakest
+assignment, so this pass walks each scope in source order, propagates a
+unit for every name it can, and reports the places where units meet that
+should never meet: ``ms + sec``, ``ms < count``, a ``*_bytes`` name bound
+to a millisecond value, a millisecond argument passed to a ``*_count``
+parameter, or a ``*_ms`` function returning bytes.
+
+The lattice is deliberately coarse — a value is either a *known unit* or
+``unknown`` — and the transfer functions err toward ``unknown`` so the
+pass cannot cry wolf:
+
+* ``unit ± unit`` keeps the unit; ``unit ± literal`` keeps the unit
+  (offsets); ``unit ± different-unit`` is the ``unit-mixed-arith``
+  finding.
+* ``unit * literal`` and ``unit / literal`` go to ``unknown`` — that is
+  the unit-*conversion* idiom (``seconds * 1e3``), exactly the operation
+  the suffix can no longer describe.
+* ``unit * unit`` and ``unit / unit`` go to ``unknown`` (a rate or an
+  area, not either operand's unit); ``unit * unknown`` keeps the unit
+  (scaling by a dimensionless factor).
+
+Only *known vs known* disagreements are reported; ``unknown`` never
+participates in a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.finding import Finding
+
+#: name suffix -> canonical unit
+_SUFFIXES = {
+    "_ms": "ms",
+    "_ns": "ns",
+    "_us": "us",
+    "_sec": "sec",
+    "_secs": "sec",
+    "_seconds": "sec",
+    "_bytes": "bytes",
+    "_count": "count",
+    "_counts": "count",
+}
+
+#: builtins transparent to units (unit of their first argument)
+_UNIT_TRANSPARENT_CALLS = frozenset({"abs", "min", "max", "sum", "round"})
+
+
+def unit_of_name(name: str) -> str | None:
+    """Unit implied by a name's suffix, or None."""
+    for suffix in sorted(_SUFFIXES, key=len, reverse=True):
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return _SUFFIXES[suffix]
+    return None
+
+
+def _is_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and not isinstance(
+            node.value, bool
+        )
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return _is_literal(node.operand)
+    return False
+
+
+class _ScopeChecker:
+    """Run the dataflow over one scope (module body or function body)."""
+
+    def __init__(self, path: str, signatures: dict[str, list[str]]) -> None:
+        self.path = path
+        self.signatures = signatures
+        self.env: dict[str, str] = {}
+        self.findings: list[Finding] = []
+        self.return_unit: str | None = None
+        self.func_name = "<module>"
+
+    # -- inference --------------------------------------------------------
+
+    def infer(self, node: ast.AST) -> str | None:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, unit_of_name(node.id))
+        if isinstance(node, ast.Attribute):
+            return unit_of_name(node.attr)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.IfExp):
+            then = self.infer(node.body)
+            other = self.infer(node.orelse)
+            return then if then == other else None
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Name):
+                if callee.id in _UNIT_TRANSPARENT_CALLS and node.args:
+                    return self.infer(node.args[0])
+                return unit_of_name(callee.id)
+            if isinstance(callee, ast.Attribute):
+                return unit_of_name(callee.attr)
+            return None
+        if isinstance(node, ast.BinOp):
+            left = self.infer(node.left)
+            right = self.infer(node.right)
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                if left is not None and right is not None:
+                    return left if left == right else None
+                if left is not None and _is_literal(node.right):
+                    return left
+                if right is not None and _is_literal(node.left):
+                    return right
+                return left if right is None else right
+            if isinstance(node.op, (ast.Mult, ast.Div, ast.FloorDiv, ast.Mod)):
+                if _is_literal(node.left) or _is_literal(node.right):
+                    return None  # unit conversion: the suffix no longer holds
+                if left is not None and right is not None:
+                    return None  # rate/product: a new unit entirely
+                return left if right is None else right
+            return None
+        return None
+
+    # -- findings ---------------------------------------------------------
+
+    def _mixed(self, rule: str, node: ast.AST, detail: str) -> None:
+        self.findings.append(Finding(rule, self.path, node.lineno, detail))
+
+    def _check_expr(self, expr: ast.AST) -> None:
+        """Report mixed-unit arithmetic/comparisons/calls inside ``expr``."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                left = self.infer(node.left)
+                right = self.infer(node.right)
+                if left is not None and right is not None and left != right:
+                    op = "+" if isinstance(node.op, ast.Add) else "-"
+                    self._mixed(
+                        "unit-mixed-arith", node,
+                        f"'{op}' mixes {left} and {right}",
+                    )
+            elif isinstance(node, ast.Compare):
+                prev_node: ast.AST = node.left
+                prev = self.infer(node.left)
+                for comparator in node.comparators:
+                    cur = self.infer(comparator)
+                    if prev is not None and cur is not None and prev != cur:
+                        self._mixed(
+                            "unit-mixed-compare", node,
+                            f"comparison mixes {prev} and {cur}",
+                        )
+                    prev_node, prev = comparator, cur
+                del prev_node
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                params = self.signatures.get(node.func.id)
+                if params is None:
+                    continue
+                for param, arg in zip(params, node.args):
+                    expected = unit_of_name(param)
+                    actual = self.infer(arg)
+                    if (
+                        expected is not None
+                        and actual is not None
+                        and expected != actual
+                    ):
+                        self._mixed(
+                            "unit-mixed-call", node,
+                            f"argument for {param!r} ({expected}) has unit "
+                            f"{actual}",
+                        )
+                for kw in node.keywords:
+                    if kw.arg is None:
+                        continue
+                    expected = unit_of_name(kw.arg)
+                    actual = self.infer(kw.value)
+                    if (
+                        expected is not None
+                        and actual is not None
+                        and expected != actual
+                    ):
+                        self._mixed(
+                            "unit-mixed-call", node,
+                            f"argument for {kw.arg!r} ({expected}) has unit "
+                            f"{actual}",
+                        )
+
+    # -- statement walk ---------------------------------------------------
+
+    def _bind(self, target: ast.AST, unit: str | None, node: ast.AST) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        declared = unit_of_name(target.id)
+        if declared is not None and unit is not None and declared != unit:
+            self._mixed(
+                "unit-mixed-assign", node,
+                f"{target.id!r} ({declared}) assigned a {unit} value",
+            )
+        self.env[target.id] = declared or unit  # suffix wins when present
+
+    def run(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes get their own checker
+        if isinstance(stmt, ast.Assign):
+            self._check_expr(stmt.value)
+            unit = self.infer(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, unit, stmt)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._check_expr(stmt.value)
+            self._bind(stmt.target, self.infer(stmt.value), stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self._check_expr(stmt.value)
+            if isinstance(stmt.op, (ast.Add, ast.Sub)) and isinstance(
+                stmt.target, ast.Name
+            ):
+                declared = self.env.get(
+                    stmt.target.id, unit_of_name(stmt.target.id)
+                )
+                unit = self.infer(stmt.value)
+                if (
+                    declared is not None
+                    and unit is not None
+                    and declared != unit
+                    and not _is_literal(stmt.value)
+                ):
+                    op = "+=" if isinstance(stmt.op, ast.Add) else "-="
+                    self._mixed(
+                        "unit-mixed-arith", stmt,
+                        f"'{op}' mixes {declared} and {unit}",
+                    )
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_expr(stmt.value)
+                expected = unit_of_name(self.func_name)
+                actual = self.infer(stmt.value)
+                if (
+                    expected is not None
+                    and actual is not None
+                    and expected != actual
+                ):
+                    self._mixed(
+                        "unit-return", stmt,
+                        f"{self.func_name!r} ({expected}) returns a "
+                        f"{actual} value",
+                    )
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._check_expr(child)
+            for field_name in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, field_name, None)
+                if isinstance(inner, list):
+                    self.run([s for s in inner if isinstance(s, ast.stmt)])
+            for handler in getattr(stmt, "handlers", []):
+                self.run(handler.body)
+
+
+def _collect_signatures(tree: ast.AST) -> dict[str, list[str]]:
+    """Module-level function name -> positional parameter names."""
+    signatures: dict[str, list[str]] = {}
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            params = [a.arg for a in node.args.posonlyargs + node.args.args]
+            signatures[node.name] = params
+    return signatures
+
+
+def check_units(path: str, tree: ast.AST) -> list[Finding]:
+    """Run the unit-consistency dataflow over one parsed module."""
+    signatures = _collect_signatures(tree)
+    findings: list[Finding] = []
+
+    module_checker = _ScopeChecker(path, signatures)
+    module_checker.run([s for s in tree.body if isinstance(s, ast.stmt)])
+    findings.extend(module_checker.findings)
+
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        checker = _ScopeChecker(path, signatures)
+        checker.func_name = node.name
+        for arg in node.args.posonlyargs + node.args.args + node.args.kwonlyargs:
+            unit = unit_of_name(arg.arg)
+            if unit is not None:
+                checker.env[arg.arg] = unit
+        checker.run(node.body)
+        findings.extend(checker.findings)
+    return findings

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
+from repro.analyze.modelcheck import check_plan
 from repro.core.backends import AnalyticBackend, Backend, FunctionalBackend
 from repro.core.bucket_reduce import gpu_bucket_reduce_counts
 from repro.core.bucket_sum import bucket_sum_counts, threads_per_bucket
@@ -766,6 +767,7 @@ class DistMsm:
         )
         cpu_task = Task("msm:host-reduce", resources.cpu, cpu_ms, live_transfers, "host")
         final_tasks = self._chunk_tasks(chunks, resources) + [cpu_task]
+        check_plan(final_tasks, label="<distmsm recovery plan>")
         timeline = simulate(
             final_tasks,
             self._fault_stages(chunks, ("msm:host-reduce",)),

@@ -113,13 +113,12 @@ class MsmTimingBreakdown:
         )
 
 
-def build_msm_timeline(
+def _emit_builder(
     breakdown: MsmTimingBreakdown,
     resources: SystemResources,
-    mode: str = "legacy",
-    label: str = "msm",
-) -> Timeline:
-    """Emit one MSM's work as tasks on the engine and schedule it."""
+    mode: str,
+    label: str,
+) -> "TimelineBuilder":
     if mode not in TIMELINE_MODES:
         raise ValueError(f"unknown timeline mode {mode!r}; choose from {TIMELINE_MODES}")
     if len(breakdown.per_gpu) > len(resources.gpus):
@@ -132,12 +131,40 @@ def build_msm_timeline(
     return _build_phase_barriers(breakdown, resources, mode, label)
 
 
+def build_msm_timeline(
+    breakdown: MsmTimingBreakdown,
+    resources: SystemResources,
+    mode: str = "legacy",
+    label: str = "msm",
+) -> Timeline:
+    """Emit one MSM's work as tasks on the engine and schedule it.
+
+    The builder model-checks the plan (``repro.analyze.check_plan``)
+    before the simulator touches it.
+    """
+    return _emit_builder(breakdown, resources, mode, label).build()
+
+
+def emit_msm_tasks(
+    breakdown: MsmTimingBreakdown,
+    resources: SystemResources,
+    mode: str = "legacy",
+    label: str = "msm",
+) -> list:
+    """The task list :func:`build_msm_timeline` would schedule, unsimulated.
+
+    This is the hook the static analyzer's ``plan`` family uses to
+    pre-flight-check the production emission shapes on their own.
+    """
+    return _emit_builder(breakdown, resources, mode, label).tasks
+
+
 def _build_phase_barriers(
     breakdown: MsmTimingBreakdown,
     resources: SystemResources,
     mode: str,
     label: str,
-) -> Timeline:
+) -> "TimelineBuilder":
     """Phase-serial schedule: each phase is a barrier over all resources."""
     b = TimelineBuilder()
     per_gpu = breakdown.per_gpu
@@ -170,14 +197,14 @@ def _build_phase_barriers(
     b.barrier_stage("launch-overhead")
     for g, ph in enumerate(per_gpu):
         b.add(f"{label}:launch:g{g}", resources.gpu(g), ph.launch)
-    return b.build()
+    return b
 
 
 def _build_overlapped(
     breakdown: MsmTimingBreakdown,
     resources: SystemResources,
     label: str,
-) -> Timeline:
+) -> "TimelineBuilder":
     """Per-window pipelined schedule: CPU reduces race later GPU windows."""
     b = TimelineBuilder()
     k = max(1, breakdown.num_windows)
@@ -235,4 +262,4 @@ def _build_overlapped(
         deps=tuple(transfer_names),
         stage="node-sync",
     )
-    return b.build()
+    return b

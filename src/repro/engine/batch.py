@@ -117,8 +117,15 @@ class BatchMsmScheduler:
             for _ in range(self.gpu_groups)
         ]
 
-    def schedule(self, requests: list[MsmRequest]) -> BatchSchedule:
-        """Estimate every request and resolve the shared-resource timeline."""
+    def emit_tasks(
+        self, requests: list[MsmRequest]
+    ) -> tuple[list[Task], float, list[str]]:
+        """Estimate every request and emit its tasks, unsimulated.
+
+        Returns ``(tasks, serial_ms, reduce_task_names)`` — the exact
+        submission :meth:`schedule` resolves, exposed so the static
+        analyzer's ``plan`` family can pre-flight-check it directly.
+        """
         from repro.core.multi_msm import msm_job_from_estimate
 
         engines = self._group_engines()
@@ -149,7 +156,14 @@ class BatchMsmScheduler:
             )
             cpu_names.append(cpu_name)
             serial += job.gpu_ms + job.cpu_ms
+        return tasks, serial, cpu_names
 
+    def schedule(self, requests: list[MsmRequest]) -> BatchSchedule:
+        """Estimate every request and resolve the shared-resource timeline."""
+        from repro.analyze.modelcheck import check_plan
+
+        tasks, serial, cpu_names = self.emit_tasks(requests)
+        check_plan(tasks, label="<batch-msm plan>")
         timeline = simulate(tasks)
         completions = [timeline.span(name).end_ms for name in cpu_names]
         return BatchSchedule(

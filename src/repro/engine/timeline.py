@@ -306,7 +306,7 @@ def simulate(
     remaining = {task.name: len(set(task.deps)) for task in task_list}
     dependants: dict[str, list[str]] = {task.name: [] for task in task_list}
     for task in task_list:
-        for dep in set(task.deps):
+        for dep in dict.fromkeys(task.deps):
             dependants[dep].append(task.name)
 
     #: (ready_time, submission index, name) — the dispatch priority
@@ -498,6 +498,11 @@ class TimelineBuilder:
                 self._prev_stage_tasks = tuple(self._stage_tasks)
         self._stage_tasks = []
 
+    @property
+    def tasks(self) -> list[Task]:
+        """The tasks registered so far (submission order), a copy."""
+        return list(self._tasks)
+
     def build(
         self,
         faults: FaultPlan | None = None,
@@ -506,4 +511,9 @@ class TimelineBuilder:
     ) -> Timeline:
         self._close_stage()
         self._stage_name = None
+        # pre-flight model check (repro.analyze): reject cycles, unknown
+        # deps, and in-order-stream deadlocks before any partial scheduling
+        from repro.analyze.modelcheck import check_plan
+
+        check_plan(self._tasks, label="<timeline-builder plan>")
         return simulate(self._tasks, tuple(self._stages), faults, retry, tracer)

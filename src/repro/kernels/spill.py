@@ -86,7 +86,9 @@ def plan_spills(dag: OpDag, order: list[str], register_budget: int) -> SpillPlan
         need = len(regs | working) + (0 if op.inplace else 1)
         # 2. spill furthest-next-use victims until the op fits
         while need > register_budget:
-            candidates = [v for v in regs if v not in working]
+            # sorted so the furthest-next-use tie-break never depends on
+            # hash order (victim choice must match across processes)
+            candidates = sorted(v for v in regs if v not in working)
             if not candidates:
                 raise ValueError(
                     f"budget {register_budget} below working set of {op.name}"

@@ -1,9 +1,9 @@
 """Shared statistics helpers and the metrics registry.
 
-This module is the single home of the nearest-rank percentile (previously
-private to ``serve/metrics.py``; that module keeps a deprecated alias) and
-of :class:`MetricsRegistry`, which unifies the two ad-hoc metric styles
-that grew in earlier PRs:
+This module is the single home of the nearest-rank percentile (it started
+life private to ``serve/metrics.py``; the transitional alias there is gone
+— import it from here) and of :class:`MetricsRegistry`, which unifies the
+two ad-hoc metric styles that grew in earlier PRs:
 
 * the serving layer's latency *series* with percentile summaries, and
 * the GPU layer's monotone work *counters* (:class:`~repro.gpu.counters.EventCounters`).

@@ -28,7 +28,7 @@ from repro.serve.batcher import (
     emit_request_tasks,
     request_task_names,
 )
-from repro.serve.metrics import RequestRecord, ServeMetrics, percentile
+from repro.serve.metrics import RequestRecord, ServeMetrics
 from repro.serve.plancache import CachedPlan, CacheStats, PlanCache, cache_report
 from repro.serve.queue import (
     ClosedLoopSource,
@@ -70,7 +70,6 @@ __all__ = [
     "cache_report",
     "degraded_batch_size",
     "emit_request_tasks",
-    "percentile",
     "poisson_trace",
     "request_task_names",
     "serve_one_at_a_time",

@@ -20,9 +20,6 @@ import json
 from dataclasses import dataclass, field
 
 from repro.curves.point import AffinePoint
-
-# The nearest-rank percentile now lives in repro.observe.stats; this
-# re-export keeps ``from repro.serve.metrics import percentile`` working.
 from repro.observe.stats import percentile
 from repro.serve.admission import ShedEvent
 

@@ -32,6 +32,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.analyze.modelcheck import check_plan
 from repro.core.config import DistMsmConfig
 from repro.core.distmsm import DistMsm
 from repro.curves.point import AffinePoint
@@ -279,7 +280,7 @@ class MsmProofServer:
             sizes = {len(self._surviving_members(g, dead)) for g in live}
             plans = [
                 self.plan_cache.peek(self._engine_for(k), request.curve, request.n)
-                for k in sizes
+                for k in sorted(sizes)
             ]
             known = [p.service_ms for p in plans if p is not None]
             return max(known) if known else None
@@ -451,6 +452,7 @@ class MsmProofServer:
             self.system.num_gpus + 2
         )
         for _ in range(max_rounds):
+            check_plan(tasks, label="<serve plan>")
             timeline = simulate(tasks, faults=faults, retry=retry)
             if faults is None:
                 return timeline

@@ -20,7 +20,11 @@ produced them.  Three checkers:
   of transfer retries, honest makespan accounting;
 * :mod:`repro.verify.observecheck` — traces: well-formed nesting, one
   span per executed task, busy-time and makespan agreement with the
-  timeline, phase-serial stage tiling.
+  timeline, phase-serial stage tiling;
+* :mod:`repro.verify.staticcheck` — the bridge to :mod:`repro.analyze`:
+  the whole-program static pass (determinism lint, unit dataflow,
+  interval abstract interpretation, plan model checking) runs inside
+  ``verify_all`` and its findings fail the gate like any other checker's.
 
 ``python -m repro.verify`` runs all of it over every registered kernel and
 baseline; :mod:`repro.verify.fixtures` holds the injected faults that prove
@@ -35,6 +39,7 @@ from repro.verify.driver import (
     verify_observability,
     verify_scatter_config,
     verify_spill_plans,
+    verify_static_analysis,
 )
 from repro.verify.faultcheck import FaultCheckResult, verify_fault_timeline
 from repro.verify.fixtures import FIXTURES, run_fixture
@@ -63,6 +68,7 @@ from repro.verify.spillcheck import (
     spill_bytes_per_thread,
     verify_spill_plan,
 )
+from repro.verify.staticcheck import StaticCheckResult, check_findings
 
 __all__ = [
     "FIXTURES",
@@ -72,8 +78,10 @@ __all__ = [
     "RaceCheckResult",
     "ScheduleCheckResult",
     "SpillCheckResult",
+    "StaticCheckResult",
     "VerificationReport",
     "Violation",
+    "check_findings",
     "detect_races",
     "live_intervals",
     "max_spill_threads",
@@ -92,6 +100,7 @@ __all__ = [
     "verify_schedule",
     "verify_spill_plan",
     "verify_spill_plans",
+    "verify_static_analysis",
     "verify_trace",
     "verify_trace_against_timeline",
 ]

@@ -427,6 +427,37 @@ def verify_observability(report: VerificationReport | None = None) -> Verificati
     return report
 
 
+def verify_static_analysis(
+    report: VerificationReport | None = None,
+) -> VerificationReport:
+    """Run the whole-program static analyzer and fold in its findings.
+
+    ``repro.analyze`` covers what the runtime checkers cannot: source
+    hygiene (unseeded RNG, wall-clock reads, hash-ordered set iteration,
+    unit-suffix mixing), the interval abstract interpretation of the
+    kernel DAGs (Montgomery bounds for every registered curve plus an
+    independent re-derivation of the §4.2 register peaks), and pre-flight
+    model checking of the production task emissions.  Every active
+    finding becomes a violation; the discharged obligations become
+    checks, so ``-v`` shows the proof surface alongside the runtime one.
+    """
+    from repro.analyze import analyze_paths
+    from repro.verify.staticcheck import check_findings
+
+    report = report or VerificationReport()
+    analysis = analyze_paths()
+    checked = check_findings(analysis.sorted_findings(), "repro package")
+    report.extend(checked.violations)
+    for check in analysis.checks:
+        report.add_check(f"analyze: {check}")
+    report.add_check(
+        f"static analysis over {analysis.files} files — "
+        f"{len(analysis.findings)} active findings "
+        f"({len(analysis.suppressed)} suppressed by baseline)"
+    )
+    return report
+
+
 def verify_all() -> VerificationReport:
     """Verify every registered kernel and baseline configuration."""
     report = VerificationReport()
@@ -446,4 +477,5 @@ def verify_all() -> VerificationReport:
     verify_fault_recovery(report)
     verify_serving(report)
     verify_observability(report)
+    verify_static_analysis(report)
     return report

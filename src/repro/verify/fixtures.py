@@ -30,7 +30,20 @@ checker rejects it with a diagnostic naming the offending op or address.
 * ``trace-drift`` — a trace whose recorder stretched one span past its
   scheduled interval, so busy time and makespan no longer reconcile with
   the engine timeline (a recorder applying a unit conversion twice would
-  produce exactly this).
+  produce exactly this);
+* ``determinism-lint`` — source with an unseeded RNG, a wall-clock read,
+  and a hash-ordered set comprehension feeding an exported list (the
+  exact hygiene regressions a hurried new exporter would introduce);
+* ``unit-mixing`` — source adding a ``_ms`` quantity to a ``_bytes``
+  quantity (a cost model summing a latency and a payload size);
+* ``interval-overflow`` — the PADD DAG abstractly interpreted with a
+  modulus wider than its claimed limb allocation, so the Montgomery
+  reduction sum escapes ``2pR`` (a curve registered with the wrong limb
+  count would do exactly this);
+* ``plan-deadlock`` — a task emission whose cross-stream dependencies
+  deadlock under strict in-order CUDA streams even though the
+  readiness-FIFO simulator would happily reorder around them (a batcher
+  submitting out of topological order).
 """
 
 from __future__ import annotations
@@ -250,6 +263,110 @@ def broken_trace_check() -> "ObserveCheckResult":
     )
 
 
+def broken_determinism_check() -> "StaticCheckResult":
+    """Source with the three classic determinism regressions.
+
+    An unseeded ``random.random()``, a ``time.time()`` timestamp, and a
+    set comprehension iterated into an exported list without ``sorted``
+    — each must surface as its own finding.
+    """
+    import textwrap
+
+    from repro.analyze import analyze_source
+    from repro.verify.staticcheck import check_findings
+
+    source = textwrap.dedent(
+        """
+        import random
+        import time
+
+        def export_rows(tags):
+            noise = random.random()
+            stamp = time.time()
+            seen = {t.strip() for t in tags}
+            return [(t, noise, stamp) for t in seen]
+        """
+    )
+    findings = analyze_source(
+        source, path="<unseeded-exporter>", families=("determinism",)
+    )
+    return check_findings(findings, "determinism lint (unseeded exporter)")
+
+
+def broken_units_check() -> "StaticCheckResult":
+    """Source that adds a millisecond quantity to a byte count."""
+    import textwrap
+
+    from repro.analyze import analyze_source
+    from repro.verify.staticcheck import check_findings
+
+    source = textwrap.dedent(
+        """
+        def transfer_budget(latency_ms, payload_bytes):
+            total_ms = latency_ms + payload_bytes
+            return total_ms
+        """
+    )
+    findings = analyze_source(
+        source, path="<mixed-cost-model>", families=("units",)
+    )
+    return check_findings(findings, "unit dataflow (ms + bytes)")
+
+
+def broken_interval_check() -> "StaticCheckResult":
+    """The PADD DAG interpreted with a modulus wider than its limbs.
+
+    BLS12-381's 381-bit ``p`` squeezed into an 8-limb (256-bit)
+    Montgomery pipeline: ``R = 2^256 < p``, so the reduction sum
+    ``t = c + m*n`` escapes ``2pR`` and one conditional subtraction can
+    no longer bound ``u = t/R`` — the interpreter must refuse the claim.
+    """
+    from types import SimpleNamespace
+
+    from repro.analyze.intervals import interpret_dag
+    from repro.curves.params import curve_by_name
+    from repro.kernels.dag import build_padd_dag
+    from repro.verify.staticcheck import check_findings
+
+    real = curve_by_name("BLS12-381")
+    truncated = SimpleNamespace(
+        name="BLS12-381/8-limb", p=real.p, num_limbs=8
+    )
+    findings = interpret_dag(
+        build_padd_dag(), truncated, label="<PADD @ truncated R>"
+    )
+    return check_findings(findings, "interval bounds with p >= R")
+
+
+def broken_plan_check() -> "StaticCheckResult":
+    """A cross-stream emission that only in-order streams deadlock on.
+
+    Each GPU stream's first-submitted task depends on the *other*
+    stream's second-submitted task: the dependency graph is acyclic, so
+    the readiness-FIFO simulator resolves it — but strict in-order CUDA
+    streams cannot start either second task before their stuck first
+    one, and the pre-flight model checker must reject the emission.
+    """
+    from repro.analyze.modelcheck import PlanError, check_plan
+    from repro.verify.staticcheck import check_findings
+
+    gpu0 = Resource("gpu0", GPU_COMPUTE, 0)
+    gpu1 = Resource("gpu1", GPU_COMPUTE, 1)
+    tasks = [
+        Task("a0", gpu0, 1.0, deps=("b1",)),
+        Task("a1", gpu0, 1.0),
+        Task("b0", gpu1, 1.0, deps=("a1",)),
+        Task("b1", gpu1, 1.0),
+    ]
+    try:
+        result = check_plan(tasks, label="<cross-stream emission>")
+    except PlanError as exc:
+        return check_findings(exc.findings, "pre-flight (FIFO deadlock)")
+    return check_findings(
+        list(result.findings), "pre-flight (FIFO deadlock, not raised)"
+    )
+
+
 #: fixture name -> callable returning a checker result that must FAIL
 FIXTURES = {
     "register-peak": broken_schedule_check,
@@ -260,6 +377,10 @@ FIXTURES = {
     "backoff-violation": broken_backoff_check,
     "serve-before-arrival": broken_serving_check,
     "trace-drift": broken_trace_check,
+    "determinism-lint": broken_determinism_check,
+    "unit-mixing": broken_units_check,
+    "interval-overflow": broken_interval_check,
+    "plan-deadlock": broken_plan_check,
 }
 
 

@@ -1,0 +1,50 @@
+"""Bridge from :mod:`repro.analyze` findings to verify violations.
+
+The static analyzer reports :class:`~repro.analyze.finding.Finding`
+values; the verification layer speaks
+:class:`~repro.verify.report.Violation`.  :func:`check_findings` converts
+one into the other so analyzer output rides the same report, CLI, and
+injected-fault fixture machinery as the runtime checkers — a determinism
+lint hit fails ``python -m repro.verify`` exactly like a register-peak
+mismatch does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.verify.report import Violation
+
+if TYPE_CHECKING:  # import kept lazy: verify must not pull analyze eagerly
+    from repro.analyze.finding import Finding
+
+
+@dataclass
+class StaticCheckResult:
+    """Outcome of running one static-analysis pass as a verify checker."""
+
+    subject: str
+    findings: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def check_findings(
+    findings: "list[Finding]", subject: str
+) -> StaticCheckResult:
+    """Wrap analyzer findings as a checker result (one violation each)."""
+    result = StaticCheckResult(subject=subject, findings=len(findings))
+    for finding in findings:
+        result.violations.append(
+            Violation(
+                "analyze",
+                subject,
+                f"{finding.path}:{finding.line}: "
+                f"[{finding.rule}] {finding.message}",
+            )
+        )
+    return result

@@ -178,7 +178,7 @@ class Groth16:
         """
         if not self.r1cs.is_satisfied(assignment):
             raise ValueError("assignment does not satisfy the constraint system")
-        rng = rng or random.Random()
+        rng = rng or random.Random(0xB11DED)
         curve = self.curve
         r_mod = curve.r
         r_blind = rng.randrange(r_mod)

@@ -1,0 +1,160 @@
+"""Determinism linter: each rule fires on its target and nothing else."""
+
+import textwrap
+
+from repro.analyze import analyze_source
+
+
+def lint(source):
+    return analyze_source(
+        textwrap.dedent(source), path="<test>", families=("determinism",)
+    )
+
+
+def rules(source):
+    return [f.rule for f in lint(source)]
+
+
+class TestUnseededRng:
+    def test_module_level_random_flagged(self):
+        assert rules("import random\nx = random.random()\n") == [
+            "det-unseeded-rng"
+        ]
+
+    def test_seedless_random_instance_flagged(self):
+        assert rules("import random\nrng = random.Random()\n") == [
+            "det-unseeded-rng"
+        ]
+
+    def test_seeded_random_instance_clean(self):
+        assert rules("import random\nrng = random.Random(42)\n") == []
+
+    def test_seedless_default_rng_flagged(self):
+        src = "import numpy as np\ng = np.random.default_rng()\n"
+        assert rules(src) == ["det-unseeded-rng"]
+
+    def test_seeded_default_rng_clean(self):
+        assert rules("import numpy as np\ng = np.random.default_rng(7)\n") == []
+
+    def test_numpy_global_generator_flagged(self):
+        assert rules("import numpy as np\nx = np.random.randn(3)\n") == [
+            "det-unseeded-rng"
+        ]
+
+    def test_method_on_seeded_instance_clean(self):
+        src = """
+        import random
+
+        rng = random.Random(1)
+        x = rng.random()
+        """
+        assert rules(src) == []
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert rules("import time\nt = time.time()\n") == ["det-wall-clock"]
+
+    def test_perf_counter_flagged(self):
+        assert rules("import time\nt = time.perf_counter()\n") == [
+            "det-wall-clock"
+        ]
+
+    def test_datetime_now_flagged(self):
+        src = "import datetime\nt = datetime.datetime.now()\n"
+        assert rules(src) == ["det-wall-clock"]
+
+    def test_engine_clock_attribute_clean(self):
+        # an attribute named .time on a non-clock object is not a call
+        assert rules("t = engine.clock_ms\n") == []
+
+
+class TestSetIteration:
+    def test_for_over_set_flagged(self):
+        src = """
+        names = {"a", "b"}
+        for n in names:
+            print(n)
+        """
+        assert rules(src) == ["det-set-iteration"]
+
+    def test_list_comp_over_set_flagged(self):
+        src = """
+        seen = set(items)
+        out = [x for x in seen]
+        """
+        assert rules(src) == ["det-set-iteration"]
+
+    def test_sorted_wrap_clean(self):
+        src = """
+        seen = set(items)
+        for x in sorted(seen):
+            print(x)
+        """
+        assert rules(src) == []
+
+    def test_order_insensitive_reducer_clean(self):
+        src = """
+        seen = set(items)
+        total = sum(1 for x in seen)
+        biggest = max(x for x in seen)
+        """
+        assert rules(src) == []
+
+    def test_dict_iteration_clean(self):
+        # dicts are insertion-ordered; dict.fromkeys is the convention fix
+        src = """
+        seen = dict.fromkeys(items)
+        out = [x for x in seen]
+        """
+        assert rules(src) == []
+
+    def test_class_field_does_not_leak_into_functions(self):
+        # a frozenset dataclass field must not make a same-named function
+        # parameter look like a set (per-scope inference)
+        src = """
+        class Dag:
+            live_at_end: frozenset = frozenset()
+
+        def count(live_at_end):
+            return [v for v in live_at_end]
+        """
+        assert rules(src) == []
+
+    def test_function_scope_isolated_from_module(self):
+        src = """
+        tags = {"x"}
+
+        def render(tags):
+            return [t for t in tags]
+        """
+        # the module-level set is never iterated; the parameter shadows it
+        assert rules(src) == []
+
+    def test_set_union_chain_tracked(self):
+        src = """
+        a = {1}
+        b = a | {2}
+        out = [x for x in b]
+        """
+        assert rules(src) == ["det-set-iteration"]
+
+
+class TestMutableDefault:
+    def test_list_literal_default_flagged(self):
+        assert rules("def f(x=[]):\n    return x\n") == [
+            "det-mutable-default"
+        ]
+
+    def test_set_call_default_flagged(self):
+        assert rules("def f(x=set()):\n    return x\n") == [
+            "det-mutable-default"
+        ]
+
+    def test_none_default_clean(self):
+        assert rules("def f(x=None):\n    return x or []\n") == []
+
+    def test_finding_names_the_function(self):
+        (finding,) = lint("def cache(acc={}):\n    return acc\n")
+        assert "cache" in finding.message
+        assert finding.line == 1

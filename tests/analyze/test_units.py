@@ -1,0 +1,172 @@
+"""Unit-consistency dataflow: the lattice, the rules, the idioms."""
+
+import textwrap
+
+from repro.analyze import analyze_source
+from repro.analyze.units import unit_of_name
+
+
+def check(source):
+    return analyze_source(
+        textwrap.dedent(source), path="<test>", families=("units",)
+    )
+
+
+def rules(source):
+    return [f.rule for f in check(source)]
+
+
+class TestSuffixes:
+    def test_known_suffixes(self):
+        assert unit_of_name("duration_ms") == "ms"
+        assert unit_of_name("size_bytes") == "bytes"
+        assert unit_of_name("window_count") == "count"
+        assert unit_of_name("delay_secs") == "sec"
+
+    def test_longest_suffix_wins(self):
+        assert unit_of_name("elapsed_seconds") == "sec"
+
+    def test_bare_suffix_is_not_a_unit(self):
+        # a name that IS the suffix carries no quantity to mislabel
+        assert unit_of_name("_ms") is None
+        assert unit_of_name("plain") is None
+
+
+class TestMixedArith:
+    def test_ms_plus_bytes_flagged(self):
+        src = """
+        def f(latency_ms, payload_bytes):
+            return latency_ms + payload_bytes
+        """
+        assert rules(src) == ["unit-mixed-arith"]
+
+    def test_same_unit_clean(self):
+        src = """
+        def f(a_ms, b_ms):
+            return a_ms + b_ms
+        """
+        assert rules(src) == []
+
+    def test_literal_offset_keeps_unit(self):
+        src = """
+        def f(a_ms):
+            return a_ms + 5.0
+        """
+        assert rules(src) == []
+
+    def test_conversion_by_literal_goes_unknown(self):
+        # seconds * 1e3 is the conversion idiom: no false positive after it
+        src = """
+        def f(delay_sec, budget_ms):
+            converted = delay_sec * 1e3
+            return converted + budget_ms
+        """
+        assert rules(src) == []
+
+    def test_unit_flows_through_assignment(self):
+        src = """
+        def f(a_ms, b_bytes):
+            x = a_ms
+            return x + b_bytes
+        """
+        assert rules(src) == ["unit-mixed-arith"]
+
+    def test_augassign_mix_flagged(self):
+        src = """
+        def f(total_ms, chunk_bytes):
+            total_ms += chunk_bytes
+            return total_ms
+        """
+        assert rules(src) == ["unit-mixed-arith"]
+
+
+class TestMixedCompare:
+    def test_ms_vs_count_flagged(self):
+        src = """
+        def f(deadline_ms, retry_count):
+            if deadline_ms < retry_count:
+                return True
+            return False
+        """
+        assert rules(src) == ["unit-mixed-compare"]
+
+    def test_same_unit_compare_clean(self):
+        src = """
+        def f(a_ms, b_ms):
+            return a_ms < b_ms
+        """
+        assert rules(src) == []
+
+
+class TestMixedAssign:
+    def test_bytes_name_bound_to_ms_flagged(self):
+        src = """
+        def f(elapsed_ms):
+            total_bytes = elapsed_ms
+            return total_bytes
+        """
+        assert rules(src) == ["unit-mixed-assign"]
+
+    def test_unknown_value_clean(self):
+        src = """
+        def f(raw):
+            total_bytes = raw
+            return total_bytes
+        """
+        assert rules(src) == []
+
+
+class TestMixedCall:
+    def test_positional_arg_unit_mismatch_flagged(self):
+        src = """
+        def wait(delay_ms):
+            return delay_ms
+
+        def g(payload_bytes):
+            return wait(payload_bytes)
+        """
+        assert rules(src) == ["unit-mixed-call"]
+
+    def test_keyword_arg_unit_mismatch_flagged(self):
+        src = """
+        def wait(delay_ms=0.0):
+            return delay_ms
+
+        def g(payload_bytes):
+            return wait(delay_ms=payload_bytes)
+        """
+        assert rules(src) == ["unit-mixed-call"]
+
+    def test_matching_units_clean(self):
+        src = """
+        def wait(delay_ms):
+            return delay_ms
+
+        def g(budget_ms):
+            return wait(budget_ms)
+        """
+        assert rules(src) == []
+
+
+class TestReturnUnit:
+    def test_ms_function_returning_bytes_flagged(self):
+        src = """
+        def latency_ms(payload_bytes):
+            return payload_bytes
+        """
+        assert rules(src) == ["unit-return"]
+
+    def test_transparent_builtin_keeps_unit(self):
+        src = """
+        def worst_ms(a_ms, b_ms):
+            return max(a_ms, b_ms)
+        """
+        assert rules(src) == []
+
+    def test_rate_product_is_unknown(self):
+        # bytes / ms is a rate — neither unit, so returning it is fine
+        src = """
+        def throughput(size_bytes, elapsed_ms):
+            return size_bytes / elapsed_ms
+        """
+        assert rules(src) == []

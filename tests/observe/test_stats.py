@@ -27,13 +27,12 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([1.0], -1.0)
 
-    def test_old_import_paths_still_work(self):
-        """Satellite: the move kept the deprecated aliases importable."""
-        from repro.serve import percentile as p_pkg
-        from repro.serve.metrics import percentile as p_mod
+    def test_serve_shim_removed(self):
+        """The deprecated serve-layer aliases are gone; stats is the home."""
+        import repro.serve as serve_pkg
 
-        assert p_mod is percentile
-        assert p_pkg is percentile
+        assert "percentile" not in serve_pkg.__all__
+        assert not hasattr(serve_pkg, "percentile")
 
 
 class TestSummarize:

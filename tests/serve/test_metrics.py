@@ -5,13 +5,13 @@ import json
 import pytest
 
 from repro.curves.params import curve_by_name
+from repro.observe.stats import percentile
 from repro.serve import (
     SHED_QUEUE_FULL,
     ProofRequest,
     RequestRecord,
     ServeMetrics,
     ShedEvent,
-    percentile,
 )
 
 BLS = curve_by_name("BLS12-381")
