@@ -11,9 +11,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: ci lint typecheck analyze verify bench-smoke chaos-smoke serve-smoke trace-smoke test
+.PHONY: ci lint typecheck analyze verify bench-smoke bench-compare chaos-smoke serve-smoke trace-smoke test
 
-ci: lint typecheck analyze verify bench-smoke chaos-smoke serve-smoke trace-smoke test
+ci: lint typecheck analyze verify bench-smoke bench-compare chaos-smoke serve-smoke trace-smoke test
 	@echo "ci: all gates passed"
 
 lint:
@@ -43,6 +43,14 @@ verify:
 bench-smoke:
 	@echo "== pipeline-overlap smoke benchmark"
 	@$(PYTHON) benchmarks/bench_pipeline_overlap.py --smoke
+	@echo "== fig3 window-policy benchmark"
+	@$(PYTHON) benchmarks/bench_fig3.py
+	@echo "== vectorized backend + heap engine smoke benchmark"
+	@$(PYTHON) benchmarks/bench_vectorized.py --smoke
+
+bench-compare:
+	@echo "== benchmark regression gate (results/ vs benchmarks/baselines/)"
+	@$(PYTHON) benchmarks/compare_bench.py
 
 chaos-smoke:
 	@echo "== fault-recovery smoke benchmark"

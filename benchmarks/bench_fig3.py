@@ -1,4 +1,19 @@
-"""Regenerate paper Fig. 3: per-thread workload vs window size."""
+"""Regenerate paper Fig. 3: per-thread workload vs window size.
+
+Writes the rendered table to ``results/figure3.txt`` and a
+machine-readable record to ``results/BENCH_fig3.json`` (per-GPU-count
+optimal window sizes plus the wall time of the sweep).  Runs under
+pytest-benchmark (``make bench``) and standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fig3.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
 
 from conftest import save_result
 
@@ -6,11 +21,11 @@ from repro.analysis.ascii_plot import ascii_plot
 from repro.analysis.experiments import figure3
 from repro.analysis.tables import format_table
 
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
-def test_figure3(benchmark):
-    result = benchmark.pedantic(figure3, rounds=1, iterations=1)
 
-    # render the full series grid, one row per window size
+def render_figure3(result) -> str:
+    """The full series grid, one row per window size, plus the plot."""
     sizes = result.curves[0].window_sizes
     headers = ["s"] + [f"{c.num_gpus} GPU(s)" for c in result.curves]
     rows = []
@@ -25,12 +40,63 @@ def test_figure3(benchmark):
         log_y=True,
         x_labels=[str(s) for s in sizes[::3]],
     )
-    text = (
+    return (
         format_table(headers, rows, title="Figure 3: normalised per-thread workload")
         + "\n\n" + result.render() + "\n\n" + plot
     )
-    save_result("figure3", text)
 
+
+def check_invariants(result) -> None:
     assert result.curves[0].optimal_s == 20  # paper's single-GPU optimum
     optima = [c.optimal_s for c in result.curves]
     assert optima == sorted(optima, reverse=True)  # shrinks with GPU count
+
+
+def bench_record(result, wall_s: float) -> dict:
+    return {
+        "bench": "fig3",
+        "smoke": True,  # the sweep is the same in every mode
+        "wall_s": round(wall_s, 3),
+        "window_sizes": list(result.curves[0].window_sizes),
+        "optimal_s_by_gpus": {
+            str(c.num_gpus): c.optimal_s for c in result.curves
+        },
+    }
+
+
+def write_bench_json(payload: dict) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_fig3.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_figure3(benchmark):
+    start = time.perf_counter()
+    result = benchmark.pedantic(figure3, rounds=1, iterations=1)
+    wall_s = time.perf_counter() - start
+    save_result("figure3", render_figure3(result))
+    check_invariants(result)
+    write_bench_json(bench_record(result, wall_s))
+
+
+def main(argv: list[str]) -> int:
+    start = time.perf_counter()
+    result = figure3()
+    wall_s = time.perf_counter() - start
+    check_invariants(result)
+    text = render_figure3(result)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "figure3.txt").write_text(text + "\n")
+    path = write_bench_json(bench_record(result, wall_s))
+    optima = ", ".join(
+        f"{gpus} gpu: s={s}"
+        for gpus, s in bench_record(result, wall_s)["optimal_s_by_gpus"].items()
+    )
+    print(f"fig3: {optima} ({wall_s:.2f}s)")
+    print(f"[saved to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

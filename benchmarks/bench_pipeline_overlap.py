@@ -8,8 +8,10 @@ Quantifies the §3.2.3 claim on the engine's timelines:
 * **batched** — :class:`repro.engine.batch.BatchMsmScheduler` interleaving
   an independent request stream over GPU groups with the shared host CPU.
 
-Writes the comparison to ``results/pipeline_overlap.txt``.  Runs under
-pytest-benchmark (``make bench``) and standalone:
+Writes the comparison to ``results/pipeline_overlap.txt`` and the
+machine-readable metrics to ``results/BENCH_pipeline_overlap.json`` (the
+``benchmarks/compare_bench.py`` regression gate reads the latter).  Runs
+under pytest-benchmark (``make bench``) and standalone:
 
     PYTHONPATH=src python benchmarks/bench_pipeline_overlap.py [--smoke]
 
@@ -98,6 +100,32 @@ def check_invariants(metrics: dict) -> None:
     assert metrics["batch4_speedup"] >= metrics["batch1_speedup"], metrics
 
 
+def bench_record(metrics: dict) -> dict:
+    """The BENCH json record: deterministic model metrics, gate-ready."""
+    return {
+        "bench": "pipeline_overlap",
+        "curve": CURVE.name,
+        "num_gpus": NUM_GPUS,
+        "log2_constraints": CONSTRAINTS.bit_length() - 1,
+        "batch_requests": BATCH_REQUESTS,
+        "smoke": True,  # metrics are model outputs; one mode fits all
+        **{k: round(v, 4) for k, v in metrics.items()},
+    }
+
+
+def write_bench_json(metrics: dict) -> "pathlib.Path":
+    import json
+    import pathlib
+
+    results = pathlib.Path(__file__).resolve().parent.parent / "results"
+    results.mkdir(exist_ok=True)
+    path = results / "BENCH_pipeline_overlap.json"
+    path.write_text(
+        json.dumps(bench_record(metrics), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
 def test_pipeline_overlap(benchmark):
     text, metrics = benchmark.pedantic(
         pipeline_overlap_report, rounds=1, iterations=1
@@ -106,6 +134,7 @@ def test_pipeline_overlap(benchmark):
 
     save_result("pipeline_overlap", text)
     check_invariants(metrics)
+    write_bench_json(metrics)
 
 
 def main(argv: list[str]) -> int:
@@ -124,9 +153,10 @@ def main(argv: list[str]) -> int:
     results.mkdir(exist_ok=True)
     out = results / "pipeline_overlap.txt"
     out.write_text(text + "\n")
+    json_path = write_bench_json(metrics)
     if not smoke:
         print(text)
-    print(f"[saved to {out}]")
+    print(f"[saved to {out} and {json_path}]")
     return 0
 
 

@@ -22,6 +22,17 @@ hidden global state.  Four rules cover the ways Python lets that happen:
   ``sorted(...)`` where insertion order is the intended order.
 * ``det-mutable-default`` — a ``[]``/``{}``/``set()`` default is shared
   across calls; state leaks between invocations.
+* ``det-unstable-argsort`` — ``argsort`` without ``kind="stable"`` leaves
+  the order of equal keys to the partitioning algorithm, which varies
+  across numpy versions and platforms.  The batch MSM kernels group
+  bucket members by a stable argsort precisely so the vectorized path
+  accumulates points in the same order as the scalar loops — an unstable
+  sort silently voids that bit-exactness contract.
+
+The RNG rule also understands the from-import spellings
+(``from random import Random``, ``from numpy.random import default_rng``)
+so the numpy batch modules can't smuggle in a seedless generator under a
+bare name.
 
 Inference is local and syntactic on purpose: a name counts as a set only
 when the same function assigned it a set-valued expression.  That keeps
@@ -169,15 +180,40 @@ def _parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
     return parents
 
 
+def _bare_rng_imports(tree: ast.AST) -> frozenset[str]:
+    """Local names bound to ``random.Random`` / ``numpy.random.default_rng``
+    via from-imports, so seedless calls under bare names are still caught."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        for alias in node.names:
+            if (node.module == "random" and alias.name == "Random") or (
+                node.module in ("numpy.random", "numpy")
+                and alias.name == "default_rng"
+            ):
+                names.add(alias.asname or alias.name)
+    return frozenset(names)
+
+
 def _check_rng(path: str, tree: ast.AST) -> list[Finding]:
     findings: list[Finding] = []
+    bare_rngs = _bare_rng_imports(tree)
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
         callee = _dotted(node.func)
         if callee is None:
             continue
-        if callee == "random.Random" and not node.args and not node.keywords:
+        if callee in bare_rngs and not node.args and not node.keywords:
+            findings.append(
+                Finding(
+                    "det-unseeded-rng", path, node.lineno,
+                    f"{callee}() without a seed draws OS entropy; pass an "
+                    "explicit seed",
+                )
+            )
+        elif callee == "random.Random" and not node.args and not node.keywords:
             findings.append(
                 Finding(
                     "det-unseeded-rng", path, node.lineno,
@@ -315,6 +351,44 @@ def _check_mutable_default(path: str, tree: ast.AST) -> list[Finding]:
     return findings
 
 
+#: sort kinds numpy documents as stable (mergesort is an alias of stable)
+_STABLE_SORT_KINDS = frozenset({"stable", "mergesort"})
+
+
+def _check_unstable_argsort(path: str, tree: ast.AST) -> list[Finding]:
+    """Flag ``argsort`` calls that do not pin a stable sort kind.
+
+    The vectorized MSM kernels replay the scalar loops' accumulation
+    order by grouping bucket members with a stable argsort; the default
+    introsort breaks ties in an order that changes across numpy builds,
+    so any unpinned ``argsort`` is a latent bit-exactness bug.
+    """
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = _dotted(node.func)
+        if callee is None or callee.rsplit(".", 1)[-1] != "argsort":
+            continue
+        kind = next(
+            (kw.value for kw in node.keywords if kw.arg == "kind"), None
+        )
+        if (
+            isinstance(kind, ast.Constant)
+            and kind.value in _STABLE_SORT_KINDS
+        ):
+            continue
+        findings.append(
+            Finding(
+                "det-unstable-argsort", path, node.lineno,
+                "argsort without kind='stable' leaves equal-key order to "
+                "the partitioning algorithm (varies across numpy builds); "
+                "pass kind='stable' to keep batch results bit-exact",
+            )
+        )
+    return findings
+
+
 def lint(path: str, tree: ast.AST) -> list[Finding]:
     """Run every determinism rule over one parsed module."""
     return (
@@ -322,4 +396,5 @@ def lint(path: str, tree: ast.AST) -> list[Finding]:
         + _check_wall_clock(path, tree)
         + _check_set_iteration(path, tree)
         + _check_mutable_default(path, tree)
+        + _check_unstable_argsort(path, tree)
     )

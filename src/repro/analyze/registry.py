@@ -70,6 +70,14 @@ _RULES = (
         "mutable default argument ([], {}, set(), list(), dict()) is "
         "shared across calls",
     ),
+    Rule(
+        "det-unstable-argsort",
+        "determinism",
+        "source",
+        "argsort without kind='stable' leaves equal-key order to the "
+        "partitioning algorithm; the vectorized batch kernels need "
+        "stable grouping to stay bit-exact with the scalar loops",
+    ),
     # -- unit-consistency dataflow (AST) ----------------------------------
     Rule(
         "unit-mixed-arith",

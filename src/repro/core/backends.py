@@ -107,11 +107,33 @@ class FunctionalBackend:
         self._flat_digits: list[int] = []
         self._flat_negate: list[bool] = []
         self._m = len(scalars)
+        self._stream = None  # VectorizedStream when config.vectorized
+
+    def _vectorize(self) -> bool:
+        """Resolve the config's ``vectorized`` policy for this curve.
+
+        ``"auto"`` picks the batch kernels exactly when the base field
+        takes the single-limb fast path (``p < 2^32``); see
+        :class:`~repro.core.config.DistMsmConfig.vectorized`.
+        """
+        mode = self.config.vectorized
+        if mode == "auto":
+            return self.curve.p < (1 << 32)
+        return bool(mode)
 
     def prepare(self, s: int, n_win: int, total_windows: int) -> int:
         self.s = s
         self._flat = False
-        if self.config.signed_digits:
+        self._stream = None
+        self._digit_rows = []
+        if self._vectorize():
+            from repro.core.vectorized import VectorizedStream
+
+            self._stream = VectorizedStream.from_windows(
+                self.scalars, self.points, self.curve, s, n_win,
+                self.config.signed_digits,
+            )
+        elif self.config.signed_digits:
             self._digit_rows = [signed_windows(k, s, n_win) for k in self.scalars]
         else:
             self._digit_rows = [unsigned_windows(k, s, n_win) for k in self.scalars]
@@ -123,6 +145,7 @@ class FunctionalBackend:
         """Collapse all windows into one flattened (digit, point) stream."""
         self.s = s
         self._flat = True
+        self._stream = None
         signed = self.config.signed_digits
         tables = cached_precompute_tables(self.points, self.curve, s, total_windows)
         flat_points: list[AffinePoint] = []
@@ -143,7 +166,21 @@ class FunctionalBackend:
         self._flat_digits = digits
         self._flat_negate = negate
         self._m = len(digits)
+        if self._vectorize():
+            from repro.core.vectorized import VectorizedStream
+
+            self._stream = VectorizedStream.from_flat(
+                digits, negate, flat_points, self.curve
+            )
         return self._m
+
+    def _scalar_digit_rows(self) -> list[list[int]]:
+        """Digit rows for the scalar fallback (materialized from the matrix)."""
+        if not self._digit_rows and self._stream is not None:
+            self._digit_rows = [
+                self._stream.digit_row(pid) for pid in range(self._m)
+            ]
+        return self._digit_rows
 
     def run_assignment(
         self, work: "_GpuWork", assignment: Assignment, buckets_total: int
@@ -155,6 +192,13 @@ class FunctionalBackend:
         b_lo = int(round(assignment.bucket_lo * buckets_total))
         b_hi = int(round(assignment.bucket_hi * buckets_total))
 
+        # the race detector needs per-access traces, which only the scalar
+        # loops produce; everything else runs the batch kernels
+        if self._stream is not None and gpu.tracer is None:
+            return self._run_assignment_vectorized(
+                work, assignment, buckets_total, gpu, p_lo, p_hi, b_lo, b_hi
+            )
+
         if self._flat:
             digits = [
                 d if b_lo <= d < b_hi else 0 for d in self._flat_digits[p_lo:p_hi]
@@ -163,10 +207,11 @@ class FunctionalBackend:
         else:
             w = assignment.window
             signed = self.config.signed_digits
+            rows = self._scalar_digit_rows()
             digits = []
             negate = [False] * m
             for pid in range(p_lo, p_hi):
-                d = self._digit_rows[pid][w]
+                d = rows[pid][w]
                 if signed and d < 0:
                     negate[pid] = True
                     d = -d
@@ -189,6 +234,50 @@ class FunctionalBackend:
         sums = bucket_sum(
             buckets_global, self._stream_points, self.curve, n_threads, negate
         )
+        work.sums.merge(sums.counters)
+        work.active_sum_threads = max(
+            work.active_sum_threads, assigned_buckets * n_threads
+        )
+        work.buckets_touched += assigned_buckets
+        return sums.sums
+
+    def _run_assignment_vectorized(
+        self,
+        work: "_GpuWork",
+        assignment: Assignment,
+        buckets_total: int,
+        gpu,
+        p_lo: int,
+        p_hi: int,
+        b_lo: int,
+        b_hi: int,
+    ) -> list[XyzzPoint]:
+        """Array-path body of :meth:`run_assignment` (bit-identical)."""
+        import numpy as np
+
+        from repro.core.vectorized import vector_bucket_sum, vector_scatter
+
+        stream = self._stream
+        assert stream is not None
+        if self._flat:
+            col = stream.digits[p_lo:p_hi]
+            negate = stream.negate[p_lo:p_hi] if stream.negate is not None else None
+        else:
+            raw = stream.digits[p_lo:p_hi, assignment.window].astype(np.int64)
+            negate = raw < 0
+            col = np.abs(raw)
+        digits = np.where((col >= b_lo) & (col < b_hi), col, 0)
+
+        scat = vector_scatter(gpu, digits, buckets_total, self.config)
+        work.scatter.merge(scat.counters)
+
+        assigned_buckets = max(1, b_hi - b_lo)
+        n_threads = threads_per_bucket(
+            assigned_buckets,
+            self.msm.system.concurrent_threads_per_gpu,
+            self.config.threads_per_bucket_min,
+        )
+        sums = vector_bucket_sum(stream, scat, p_lo, negate, n_threads)
         work.sums.merge(sums.counters)
         work.active_sum_threads = max(
             work.active_sum_threads, assigned_buckets * n_threads

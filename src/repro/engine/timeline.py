@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, NamedTuple
 
 from repro.engine.faults import FaultPlan, RetryPolicy, TransferError
 from repro.engine.resources import Resource
@@ -97,9 +97,14 @@ class Stage:
     tasks: tuple[str, ...]
 
 
-@dataclass(frozen=True)
-class TaskSpan:
-    """The scheduled interval of one task."""
+class TaskSpan(NamedTuple):
+    """The scheduled interval of one task.
+
+    A ``NamedTuple`` rather than a frozen dataclass: :func:`simulate`
+    constructs one per completed task, and at 10^6-task scale tuple
+    construction is about half the cost of a dataclass ``__init__``.
+    Field access, equality, hashing, and repr are unchanged.
+    """
 
     task: str
     resource: Resource
@@ -172,6 +177,15 @@ class Timeline:
     failures: tuple[TaskFailure, ...] = ()
     #: failed-but-retried attempts (transient transfer errors)
     attempts: tuple[TaskAttempt, ...] = ()
+    #: lazy per-task lookup indexes; built once on first use so audits that
+    #: query every task (faultcheck walks the whole graph) are O(total)
+    #: instead of O(tasks x attempts)
+    _failure_index: dict[str, TaskFailure] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _attempt_index: dict[str, tuple[TaskAttempt, ...]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def span(self, task: str) -> TaskSpan:
         return self.spans[task]
@@ -183,19 +197,28 @@ class Timeline:
 
     def failure_for(self, task: str) -> TaskFailure | None:
         """The terminal failure of ``task``, if it did not complete."""
-        for failure in self.failures:
-            if failure.task == task:
-                return failure
-        return None
+        index = self._failure_index
+        if index is None:
+            index = {}
+            for failure in self.failures:
+                # first entry wins, matching the original linear scan
+                index.setdefault(failure.task, failure)
+            self._failure_index = index
+        return index.get(task)
 
     def attempts_for(self, task: str) -> tuple[TaskAttempt, ...]:
         """The failed-but-retried attempts of ``task``, in attempt order."""
-        return tuple(
-            sorted(
-                (a for a in self.attempts if a.task == task),
-                key=lambda a: a.attempt,
-            )
-        )
+        index = self._attempt_index
+        if index is None:
+            grouped: dict[str, list[TaskAttempt]] = {}
+            for attempt in self.attempts:
+                grouped.setdefault(attempt.task, []).append(attempt)
+            index = {
+                name: tuple(sorted(group, key=lambda a: a.attempt))
+                for name, group in grouped.items()
+            }
+            self._attempt_index = index
+        return index.get(task, ())
 
     def busy_ms(self) -> dict[str, float]:
         """Total busy time per resource name."""
@@ -221,11 +244,15 @@ class Timeline:
             return []
         last = max(self.spans.values(), key=lambda s: (s.end_ms, s.task)).task
         path = [last]
+        seen = {last}
         while True:
             prev = self.binding.get(path[-1])
-            if prev is None:
+            # a retried task can bind to a successor that bound to its own
+            # failed attempt, closing a loop; stop at the first revisit
+            if prev is None or prev in seen:
                 break
             path.append(prev)
+            seen.add(prev)
         path.reverse()
         return path
 
@@ -282,162 +309,328 @@ def simulate(
     after the event loop, so the scheduling path itself never pays for
     tracing; with ``tracer=None`` (the default) no tracing object of any
     kind is touched.
+
+    The event loop works on integer task/resource ids with flat lists for
+    every per-task quantity — string-keyed dictionaries appear only during
+    validation and when the finished :class:`Timeline` is assembled.  The
+    schedule it produces (spans, bindings, failures, attempts, makespan)
+    is byte-for-byte the one the original dict-keyed loop computed; the
+    differential tier pins this against
+    :func:`repro.engine._reference.reference_simulate`.
     """
     task_list = tuple(tasks)
-    by_name: dict[str, Task] = {}
-    for task in task_list:
-        if task.name in by_name:
-            raise ValueError(f"duplicate task name {task.name!r}")
-        by_name[task.name] = task
-    order = {task.name: i for i, task in enumerate(task_list)}
-    for task in task_list:
-        for dep in task.deps:
-            if dep not in by_name:
-                raise ValueError(f"task {task.name!r} depends on unknown {dep!r}")
+    n = len(task_list)
+    names = [t.name for t in task_list]
+    index: dict[str, int] = dict(zip(names, range(n)))
+    if len(index) != n:
+        seen: set[str] = set()
+        for name in names:
+            if name in seen:
+                raise ValueError(f"duplicate task name {name!r}")
+            seen.add(name)
 
-    deaths: dict[str, float] = faults.death_times() if faults is not None else {}
-    slowdowns: dict[str, float] = faults.slowdowns() if faults is not None else {}
-    #: per-resource consumable queues of transfer-error events (time order)
-    pending_errors: dict[str, list[TransferError]] = (
-        faults.transfer_errors() if faults is not None else {}
-    )
+    have_faults = faults is not None
     policy = retry if retry is not None else RetryPolicy()
 
-    remaining = {task.name: len(set(task.deps)) for task in task_list}
-    dependants: dict[str, list[str]] = {task.name: [] for task in task_list}
-    for task in task_list:
-        for dep in dict.fromkeys(task.deps):
-            dependants[dep].append(task.name)
+    # -- int-indexed task tables (the hot loop never touches a Task) ------
+    res_ids: dict[str, int] = {}
+    # setdefault evaluates len() before the lookup, which is harmless: the
+    # value is only stored (as the next fresh id) when the key is new
+    res_of = [res_ids.setdefault(t.resource.name, len(res_ids)) for t in task_list]
+    durations = [t.duration_ms for t in task_list]
+    release = [t.not_before_ms for t in task_list]
+    index_get = index.__getitem__
+    try:
+        deps_of: list[tuple[int, ...]] = [
+            ()
+            if not deps
+            else (
+                (index_get(deps[0]),)
+                if len(deps) == 1
+                else tuple(map(index_get, dict.fromkeys(deps)))
+            )
+            for deps in [t.deps for t in task_list]
+        ]
+    except KeyError:
+        for task in task_list:
+            for dep in task.deps:
+                if dep not in index:
+                    raise ValueError(
+                        f"task {task.name!r} depends on unknown {dep!r}"
+                    ) from None
+        raise
+    remaining = [len(deps) for deps in deps_of]
+    dependants: list[list[int]] = [[] for _ in range(n)]
+    for i, deps in enumerate(deps_of):
+        for d in deps:
+            dependants[d].append(i)
+    # resources referenced only through requires_alive still need ids so
+    # the death table below covers them
+    req_of: list[tuple[int, ...]] = [()] * n
+    if have_faults:
+        for i, task in enumerate(task_list):
+            if task.requires_alive:
+                req_of[i] = tuple(
+                    res_ids.setdefault(r, len(res_ids)) for r in task.requires_alive
+                )
 
-    #: (ready_time, submission index, name) — the dispatch priority
-    ready: list[tuple[float, int, str]] = [
-        (by_name[name].not_before_ms, order[name], name)
-        for name, n in remaining.items()
-        if n == 0
+    # -- fault tables, re-keyed by resource id ----------------------------
+    INF = float("inf")
+    num_res = len(res_ids)
+    death_at = [INF] * num_res
+    slow = [1.0] * num_res
+    #: per-resource consumable queues of transfer-error events (time order)
+    err_queues: list[list[TransferError] | None] = [None] * num_res
+    if have_faults:
+        for rname, when in faults.death_times().items():
+            rid = res_ids.get(rname)
+            if rid is not None:
+                death_at[rid] = when
+        for rname, factor in faults.slowdowns().items():
+            rid = res_ids.get(rname)
+            if rid is not None:
+                slow[rid] = factor
+        for rname, queue in faults.transfer_errors().items():
+            rid = res_ids.get(rname)
+            if rid is not None and queue:
+                err_queues[rid] = queue
+
+    #: (ready_time, submission index) — the dispatch priority
+    ready: list[tuple[float, int]] = [
+        (release[i], i) for i in range(n) if remaining[i] == 0
     ]
     heapq.heapify(ready)
 
-    free: dict[str, float] = {}
-    queue_tail: dict[str, str] = {}  # resource name -> last task scheduled on it
-    ends: dict[str, float] = {}
-    spans: dict[str, TaskSpan] = {}
-    binding: dict[str, str | None] = {}
+    free = [0.0] * num_res
+    queue_tail = [-1] * num_res  # last task dispatched per resource (-1: none)
+    ends = [0.0] * n
+    starts = [0.0] * n
+    scheduled = bytearray(n)
+    failed = bytearray(n)
+    done_order: list[int] = []  # dispatch order, for ordered Timeline assembly
+    gate_of: list[int] = []  # parallel to done_order; -1 encodes None
     failures: list[TaskFailure] = []
-    failed: set[str] = set()
     attempts: list[TaskAttempt] = []
-    attempt_no: dict[str, int] = {}
-    done = 0
+    attempt_no: dict[int, int] = {}
+    heappop, heappush = heapq.heappop, heapq.heappush
+    done_append, gate_append = done_order.append, gate_of.append
+    eps = TIME_EPS
 
-    def fail_task(name: str, at: float, reason: str, start: float | None) -> None:
+    def fail_task(idx: int, at: float, reason: str, start: float | None) -> None:
         """Record a terminal failure and cascade it to all dependants."""
-        stack: list[tuple[str, float, str, float | None]] = [(name, at, reason, start)]
+        stack: list[tuple[int, float, str, float | None]] = [(idx, at, reason, start)]
         while stack:
-            task_name, at_ms, why, started = stack.pop()
-            if task_name in failed or task_name in spans:
+            ti, at_ms, why, started = stack.pop()
+            if failed[ti] or scheduled[ti]:
                 continue
-            failed.add(task_name)
+            failed[ti] = 1
+            victim = task_list[ti]
             failures.append(
                 TaskFailure(
-                    task_name,
-                    by_name[task_name].resource,
+                    victim.name,
+                    victim.resource,
                     at_ms,
                     why,
                     started,
-                    attempt_no.get(task_name, 1),
+                    attempt_no.get(ti, 1),
                 )
             )
-            for child in dependants[task_name]:
+            for child in dependants[ti]:
                 stack.append((child, at_ms, "dep-failed", None))
 
-    while ready:
-        ready_time, _, name = heapq.heappop(ready)
-        if name in failed:
-            continue
-        task = by_name[name]
-        res = task.resource.name
-        res_free = free.get(res, 0.0)
-        start = max(ready_time, res_free)
-        duration = task.duration_ms * slowdowns.get(res, 1.0)
+    if not have_faults:
+        # fault-free fast loop: no task can fail, so the failure machinery
+        # (failed bits, death/error scans) drops out of the per-dispatch cost.
+        # Dependency ends are final by the time a task is pushed, so its
+        # dependency-gate candidate (latest end, smallest index on ties) is
+        # computed once at push time instead of rescanned at dispatch.
+        gate_cand = [-1] * n
+        gate_end = [0.0] * n
+        while ready:
+            ready_time, i = heappop(ready)
+            rid = res_of[i]
+            res_free = free[rid]
+            start = ready_time if ready_time >= res_free else res_free
+            end = start + durations[i]
 
-        # fail-stop hazards: the executing resource plus every co-required one
-        involved = (res, *task.requires_alive)
-        dead_already = [
-            (deaths[r], r) for r in involved if r in deaths and deaths[r] <= start + TIME_EPS
-        ]
-        if dead_already:
-            at_ms, _victim = min(dead_already)
-            fail_task(name, at_ms, "resource-dead", None)
-            continue
-        kill_at = min((deaths[r] for r in involved if r in deaths), default=float("inf"))
-        end = start + duration
-
-        # earliest transfer-error event landing inside this attempt
-        hit: TransferError | None = None
-        queue = pending_errors.get(res)
-        if queue:
-            for event in queue:
-                if event.at_ms >= end - TIME_EPS:
-                    break
-                if event.at_ms >= start - TIME_EPS:
-                    hit = event
-                    break
-        if hit is not None and hit.at_ms <= kill_at:
-            queue.remove(hit)  # type: ignore[union-attr]
-            k = attempt_no.get(name, 1)
-            free[res] = hit.at_ms
-            queue_tail[res] = name
-            if hit.transient and k <= policy.max_retries:
-                retry_at = hit.at_ms + policy.delay_ms(k)
-                attempts.append(TaskAttempt(name, task.resource, start, hit.at_ms, k, retry_at))
-                attempt_no[name] = k + 1
-                heapq.heappush(ready, (retry_at, order[name], name))
+            if gate_cand[i] >= 0 and gate_end[i] >= res_free - eps:
+                gate = gate_cand[i]
+            elif queue_tail[rid] >= 0 and res_free > ready_time - eps:
+                gate = queue_tail[rid]
             else:
-                fail_task(name, hit.at_ms, "transfer-error", start)
-            continue
+                gate = -1
 
-        if kill_at < end - TIME_EPS:  # the resource dies mid-task
-            free[res] = kill_at
-            queue_tail[res] = name
-            fail_task(name, kill_at, "killed", start)
-            continue
+            free[rid] = end
+            queue_tail[rid] = i
+            ends[i] = end
+            starts[i] = start
+            done_append(i)
+            gate_append(gate)
 
-        # what gated the start: the resource queue, or the latest dependency
-        gate: str | None = None
-        if task.deps:
-            latest = max(task.deps, key=lambda d: (ends[d], -order[d]))
-            if ends[latest] >= res_free - TIME_EPS:
-                gate = latest
-        if gate is None and res in queue_tail and res_free > ready_time - TIME_EPS:
-            gate = queue_tail[res]
-        binding[name] = gate
+            for child in dependants[i]:
+                left = remaining[child] - 1
+                remaining[child] = left
+                if not left:
+                    child_deps = deps_of[child]
+                    if len(child_deps) == 1:
+                        # the sole dependency is the task that just finished
+                        latest, child_ready = i, end
+                    else:
+                        latest = child_deps[0]
+                        child_ready = ends[latest]
+                        for d in child_deps[1:]:
+                            d_end = ends[d]
+                            if d_end > child_ready or (
+                                d_end == child_ready and d < latest
+                            ):
+                                latest, child_ready = d, d_end
+                    gate_cand[child] = latest
+                    gate_end[child] = child_ready
+                    rel = release[child]
+                    if rel > child_ready:
+                        child_ready = rel
+                    heappush(ready, (child_ready, child))
+    else:
+        while ready:
+            ready_time, i = heappop(ready)
+            if failed[i]:
+                continue
+            rid = res_of[i]
+            res_free = free[rid]
+            start = ready_time if ready_time >= res_free else res_free
+            task = task_list[i]
+            duration = durations[i] * slow[rid]
 
-        free[res] = end
-        queue_tail[res] = name
-        ends[name] = end
-        spans[name] = TaskSpan(name, task.resource, start, end, task.stage)
-        done += 1
+            # fail-stop hazards: the executing resource plus co-required ones
+            dead_at = INF
+            if death_at[rid] <= start + eps:
+                dead_at = death_at[rid]
+            for r in req_of[i]:
+                when = death_at[r]
+                if when <= start + eps and when < dead_at:
+                    dead_at = when
+            if dead_at != INF:
+                fail_task(i, dead_at, "resource-dead", None)
+                continue
+            kill_at = death_at[rid]
+            for r in req_of[i]:
+                if death_at[r] < kill_at:
+                    kill_at = death_at[r]
+            end = start + duration
 
-        for child in dependants[name]:
-            remaining[child] -= 1
-            if remaining[child] == 0 and child not in failed:
-                child_ready = max(
-                    max((ends[d] for d in by_name[child].deps), default=0.0),
-                    by_name[child].not_before_ms,
-                )
-                heapq.heappush(ready, (child_ready, order[child], child))
+            # earliest transfer-error event landing inside this attempt
+            hit: TransferError | None = None
+            queue = err_queues[rid]
+            if queue:
+                for event in queue:
+                    if event.at_ms >= end - eps:
+                        break
+                    if event.at_ms >= start - eps:
+                        hit = event
+                        break
+            if hit is not None and hit.at_ms <= kill_at:
+                queue.remove(hit)  # type: ignore[union-attr]
+                k = attempt_no.get(i, 1)
+                free[rid] = hit.at_ms
+                queue_tail[rid] = i
+                if hit.transient and k <= policy.max_retries:
+                    retry_at = hit.at_ms + policy.delay_ms(k)
+                    attempts.append(
+                        TaskAttempt(task.name, task.resource, start, hit.at_ms, k, retry_at)
+                    )
+                    attempt_no[i] = k + 1
+                    heappush(ready, (retry_at, i))
+                else:
+                    fail_task(i, hit.at_ms, "transfer-error", start)
+                continue
 
-    if done + len(failed) != len(task_list):
-        stuck = sorted(n for n in remaining if n not in spans and n not in failed)
+            if kill_at < end - eps:  # the resource dies mid-task
+                free[rid] = kill_at
+                queue_tail[rid] = i
+                fail_task(i, kill_at, "killed", start)
+                continue
+
+            # what gated the start: the resource queue, or the latest dependency
+            gate = -1
+            deps = deps_of[i]
+            if deps:
+                latest = deps[0]
+                latest_end = ends[latest]
+                for d in deps[1:]:
+                    d_end = ends[d]
+                    if d_end > latest_end or (d_end == latest_end and d < latest):
+                        latest, latest_end = d, d_end
+                if latest_end >= res_free - eps:
+                    gate = latest
+            if gate < 0 and queue_tail[rid] >= 0 and res_free > ready_time - eps:
+                gate = queue_tail[rid]
+
+            free[rid] = end
+            queue_tail[rid] = i
+            ends[i] = end
+            starts[i] = start
+            scheduled[i] = 1
+            done_order.append(i)
+            gate_of.append(gate)
+
+            for child in dependants[i]:
+                remaining[child] -= 1
+                if remaining[child] == 0 and not failed[child]:
+                    child_deps = deps_of[child]
+                    child_ready = ends[child_deps[0]]
+                    for d in child_deps[1:]:
+                        d_end = ends[d]
+                        if d_end > child_ready:
+                            child_ready = d_end
+                    if release[child] > child_ready:
+                        child_ready = release[child]
+                    heappush(ready, (child_ready, child))
+
+    if len(done_order) + len(failures) != n:
+        done_set = set(done_order)
+        stuck = sorted(
+            task_list[i].name
+            for i in range(n)
+            if i not in done_set and not failed[i]
+        )
         raise ValueError(f"dependency cycle among tasks: {', '.join(stuck)}")
 
     total = max(
         (
-            *(s.end_ms for s in spans.values()),
+            *(ends[i] for i in done_order),
             *(f.at_ms for f in failures),
             *(a.end_ms for a in attempts),
         ),
         default=0.0,
     )
+
+    # assemble the string-keyed views in dispatch order, matching the
+    # insertion order of the original loop (busy_ms sums in this order);
+    # map/zip keep this O(n) pass at C speed
+    done_names = [names[i] for i in done_order]
+    binding: dict[str, str | None] = dict(
+        zip(done_names, [names[g] if g >= 0 else None for g in gate_of])
+    )
+    resources = [t.resource for t in task_list]
+    stage_of = [t.stage for t in task_list]
+    # _make hands zip's ready-made tuples straight to tuple.__new__,
+    # skipping the per-span keyword-processing layer of TaskSpan(...)
+    spans: dict[str, TaskSpan] = dict(
+        zip(
+            done_names,
+            map(
+                TaskSpan._make,
+                zip(
+                    done_names,
+                    [resources[i] for i in done_order],
+                    [starts[i] for i in done_order],
+                    [ends[i] for i in done_order],
+                    [stage_of[i] for i in done_order],
+                ),
+            ),
+        )
+    )
+
     timeline = Timeline(
         task_list, spans, total, stages, binding, tuple(failures), tuple(attempts)
     )

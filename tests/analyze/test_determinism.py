@@ -158,3 +158,53 @@ class TestMutableDefault:
         (finding,) = lint("def cache(acc={}):\n    return acc\n")
         assert "cache" in finding.message
         assert finding.line == 1
+
+
+class TestBareNameRng:
+    """From-import spellings are caught too (the batch-module idiom)."""
+
+    def test_bare_default_rng_seedless_flagged(self):
+        src = "from numpy.random import default_rng\ng = default_rng()\n"
+        assert rules(src) == ["det-unseeded-rng"]
+
+    def test_bare_default_rng_seeded_clean(self):
+        src = "from numpy.random import default_rng\ng = default_rng(7)\n"
+        assert rules(src) == []
+
+    def test_bare_random_seedless_flagged(self):
+        src = "from random import Random\nrng = Random()\n"
+        assert rules(src) == ["det-unseeded-rng"]
+
+    def test_aliased_import_tracked(self):
+        src = "from numpy.random import default_rng as rng\ng = rng()\n"
+        assert rules(src) == ["det-unseeded-rng"]
+
+    def test_unrelated_bare_name_clean(self):
+        # a user-defined Random class is not the stdlib one
+        src = """
+        class Random:
+            pass
+
+        rng = Random()
+        """
+        assert rules(src) == []
+
+
+class TestUnstableArgsort:
+    def test_default_kind_flagged(self):
+        src = "import numpy as np\norder = np.argsort(keys)\n"
+        assert rules(src) == ["det-unstable-argsort"]
+
+    def test_method_call_flagged(self):
+        assert rules("order = keys.argsort()\n") == ["det-unstable-argsort"]
+
+    def test_quicksort_kind_flagged(self):
+        src = "import numpy as np\norder = np.argsort(keys, kind='quicksort')\n"
+        assert rules(src) == ["det-unstable-argsort"]
+
+    def test_stable_kind_clean(self):
+        src = "import numpy as np\norder = np.argsort(keys, kind='stable')\n"
+        assert rules(src) == []
+
+    def test_mergesort_kind_clean(self):
+        assert rules("order = keys.argsort(kind='mergesort')\n") == []

@@ -1,0 +1,156 @@
+"""Differential: batch XYZZ group law vs the scalar reference, lane for lane.
+
+:class:`repro.curves.batch.BatchCurve` must reproduce ``xyzz_add`` /
+``xyzz_acc`` / ``pdbl`` *exactly* — same canonical XYZZ coordinates, not
+just the same affine point — on every lane, including the degenerate ones
+(identity operands, doubling, cancellation) that bucket columns on small
+curves hit routinely.  An exhaustive pool×pool sweep covers the special
+cases deterministically on every registered curve; Hypothesis shuffles
+random lane mixes on the toy curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.curves.batch import batch_curve
+from repro.curves.point import (
+    AffinePoint,
+    XyzzPoint,
+    pdbl,
+    xyzz_acc,
+    xyzz_add,
+    xyzz_neg,
+)
+from repro.curves.sampling import sample_points
+from tests.conftest import TOY_CURVE
+
+
+def _xyzz_pool(curve, n_base: int = 4) -> list[XyzzPoint]:
+    """Identity + affine-lifted + non-trivial-ZZ + negated lanes."""
+    base = [XyzzPoint.from_affine(p) for p in sample_points(curve, n_base, seed=7)]
+    mixed = [xyzz_add(a, b, curve) for a, b in zip(base, base[1:])]
+    return (
+        [XyzzPoint.identity()]
+        + base
+        + mixed
+        + [xyzz_neg(q, curve) for q in base[:2] + mixed[:1]]
+    )
+
+
+def _affine_pool(curve, n_base: int = 4) -> list[AffinePoint]:
+    pts = sample_points(curve, n_base, seed=11)
+    return (
+        [AffinePoint.identity()]
+        + pts
+        + [AffinePoint(p.x, (-p.y) % curve.p) for p in pts[:2]]
+    )
+
+
+class TestExhaustivePairs:
+    """Every (lane1, lane2) pool combination in one batch call per op."""
+
+    def test_add_all_pairs(self, any_curve):
+        bc = batch_curve(any_curve)
+        pool = _xyzz_pool(any_curve)
+        p1 = [a for a in pool for _ in pool]
+        p2 = [b for _ in pool for b in pool]
+        got = bc.decode(bc.add(bc.encode_xyzz(p1), bc.encode_xyzz(p2)))
+        want = [xyzz_add(a, b, any_curve) for a, b in zip(p1, p2)]
+        assert got == want
+
+    def test_acc_all_pairs(self, any_curve):
+        bc = batch_curve(any_curve)
+        accs = _xyzz_pool(any_curve)
+        pts = _affine_pool(any_curve)
+        a_lanes = [a for a in accs for _ in pts]
+        p_lanes = [p for _ in accs for p in pts]
+        got = bc.decode(bc.acc(bc.encode_xyzz(a_lanes), bc.encode_affine(p_lanes)))
+        want = [xyzz_acc(a, p, any_curve) for a, p in zip(a_lanes, p_lanes)]
+        assert got == want
+
+    def test_acc_cancellation_pairs(self, any_curve):
+        """acc(P, -P) must cancel to the identity on every lane."""
+        bc = batch_curve(any_curve)
+        pts = sample_points(any_curve, 4, seed=3)
+        accs = [XyzzPoint.from_affine(p) for p in pts]
+        negs = [AffinePoint(p.x, (-p.y) % any_curve.p) for p in pts]
+        got = bc.decode(bc.acc(bc.encode_xyzz(accs), bc.encode_affine(negs)))
+        assert got == [XyzzPoint.identity()] * len(pts)
+
+    def test_pdbl_all_lanes(self, any_curve):
+        bc = batch_curve(any_curve)
+        pool = _xyzz_pool(any_curve)
+        got = bc.decode(bc.pdbl(bc.encode_xyzz(pool)))
+        assert got == [pdbl(a, any_curve) for a in pool]
+
+    def test_from_affine_and_neg_affine(self, any_curve):
+        bc = batch_curve(any_curve)
+        pts = _affine_pool(any_curve)
+        lifted = bc.decode(bc.from_affine(bc.encode_affine(pts)))
+        assert lifted == [XyzzPoint.from_affine(p) for p in pts]
+        mask = np.asarray([i % 2 == 0 for i in range(len(pts))])
+        neg = bc.neg_affine(bc.encode_affine(pts), mask)
+        xs = bc.field.decode(neg.x)
+        ys = bc.field.decode(neg.y)
+        for i, p in enumerate(pts):
+            assert xs[i] == p.x
+            assert ys[i] == ((-p.y) % any_curve.p if mask[i] else p.y)
+            assert bool(neg.infinity[i]) == p.infinity
+
+
+_TOY_POOL = _xyzz_pool(TOY_CURVE, n_base=6)
+_TOY_AFFINE = _affine_pool(TOY_CURVE, n_base=6)
+
+lane_idx = st.lists(
+    st.integers(min_value=0, max_value=len(_TOY_POOL) - 1), min_size=1, max_size=32
+)
+aff_idx = st.lists(
+    st.integers(min_value=0, max_value=len(_TOY_AFFINE) - 1), min_size=1, max_size=32
+)
+
+
+class TestHypothesisLanes:
+    @given(i1=lane_idx, i2=lane_idx)
+    @settings(max_examples=40, deadline=None)
+    def test_add_random_lanes(self, i1, i2):
+        n = min(len(i1), len(i2))
+        p1 = [_TOY_POOL[i] for i in i1[:n]]
+        p2 = [_TOY_POOL[i] for i in i2[:n]]
+        bc = batch_curve(TOY_CURVE)
+        got = bc.decode(bc.add(bc.encode_xyzz(p1), bc.encode_xyzz(p2)))
+        assert got == [xyzz_add(a, b, TOY_CURVE) for a, b in zip(p1, p2)]
+
+    @given(ia=lane_idx, ip=aff_idx)
+    @settings(max_examples=40, deadline=None)
+    def test_acc_random_lanes(self, ia, ip):
+        n = min(len(ia), len(ip))
+        accs = [_TOY_POOL[i] for i in ia[:n]]
+        pts = [_TOY_AFFINE[i] for i in ip[:n]]
+        bc = batch_curve(TOY_CURVE)
+        got = bc.decode(bc.acc(bc.encode_xyzz(accs), bc.encode_affine(pts)))
+        assert got == [xyzz_acc(a, p, TOY_CURVE) for a, p in zip(accs, pts)]
+
+    @given(i1=lane_idx)
+    @settings(max_examples=40, deadline=None)
+    def test_pdbl_random_lanes(self, i1):
+        pts = [_TOY_POOL[i] for i in i1]
+        bc = batch_curve(TOY_CURVE)
+        got = bc.decode(bc.pdbl(bc.encode_xyzz(pts)))
+        assert got == [pdbl(a, TOY_CURVE) for a in pts]
+
+
+def test_take_put_round_trip():
+    bc = batch_curve(TOY_CURVE)
+    lanes = bc.encode_xyzz(_TOY_POOL)
+    idx = np.asarray([0, 2, 4])
+    sub = lanes.take(idx)
+    assert bc.decode(sub) == [_TOY_POOL[i] for i in idx]
+    lanes.put(idx, sub)
+    assert bc.decode(lanes) == list(_TOY_POOL)
+
+
+def test_batch_curve_is_cached():
+    assert batch_curve(TOY_CURVE) is batch_curve(TOY_CURVE)
