@@ -11,9 +11,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: ci lint typecheck analyze verify bench-smoke bench-compare chaos-smoke serve-smoke trace-smoke test
+.PHONY: ci lint typecheck analyze verify bench-smoke bench-compare chaos-smoke byzantine-smoke serve-smoke trace-smoke test
 
-ci: lint typecheck analyze verify bench-smoke bench-compare chaos-smoke serve-smoke trace-smoke test
+ci: lint typecheck analyze verify bench-smoke byzantine-smoke bench-compare chaos-smoke serve-smoke trace-smoke test
 	@echo "ci: all gates passed"
 
 lint:
@@ -55,6 +55,10 @@ bench-compare:
 chaos-smoke:
 	@echo "== fault-recovery smoke benchmark"
 	@$(PYTHON) benchmarks/bench_fault_recovery.py --smoke
+
+byzantine-smoke:
+	@echo "== byzantine-tolerance smoke benchmark"
+	@$(PYTHON) benchmarks/bench_byzantine.py --smoke
 
 serve-smoke:
 	@echo "== serving-latency smoke benchmark"

@@ -1,0 +1,276 @@
+"""Byzantine-tolerance cost study: what chunk verification buys and costs.
+
+Three questions, one file:
+
+* **Does the tax amortize?**  The dispatcher's verify pass folds the
+  delivered buckets (O(buckets) point-adds per chunk) plus one O(1)
+  response check — independent of the points behind them — so its share
+  of the makespan must *fall* as the MSM grows.  Swept analytically on
+  BLS12-381 at 2^20/2^22/2^24 points; the ratio of the smallest run's
+  overhead fraction to the largest's is the gated ``amortization_speedup``.
+
+* **Does per-chunk cost shrink with the cluster?**  More GPUs means more,
+  smaller chunks; the per-chunk verify cost must scale down with them
+  (gated ``per_chunk_scaling_speedup`` over 4/8/16 GPUs).  Note the
+  verify tasks serialize on the host CPU while the work they check runs
+  GPU-parallel, so the *absolute* tax is real — the gate holds the
+  2^24-point overhead under ``OVERHEAD_CEILING`` times the unverified
+  makespan, the documented price of not trusting the workers.
+
+* **What do cheaters cost?**  Makespan of an honest verified run vs one
+  cheater vs 25% of the cluster cheating: every forged chunk is caught
+  on receipt, its GPU quarantined, the rejected slots re-served by the
+  survivors — slower, never wrong.  A functional toy-curve column rides
+  along proving bit-exactness and quarantine on every plan, with the
+  audit trail passing the end-to-end integrity checker.
+
+Writes ``results/BENCH_byzantine.json`` for the CI regression gate
+(``benchmarks/compare_bench.py`` gates the ``*_speedup`` ratios and
+``within_budget`` booleans).  Runs under pytest-benchmark (``make
+bench``) and standalone:
+
+    PYTHONPATH=src python benchmarks/bench_byzantine.py [--smoke]
+
+``--smoke`` (the ``make byzantine-smoke`` CI hook) trims the functional
+sweep while still exercising every verdict path and invariant; the
+analytic sweeps are closed-form and run in full either way.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro.core.config import DistMsmConfig
+from repro.core.distmsm import DistMsm
+from repro.curves.params import curve_by_name
+from repro.curves.sampling import msm_instance
+from repro.curves.toy import toy_curve
+from repro.engine.faults import ByzantineWorker, FaultPlan
+from repro.gpu.cluster import MultiGpuSystem
+from repro.msm.naive import naive_msm
+from repro.verify.integritycheck import verify_msm_integrity
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+CURVE = curve_by_name("BLS12-381")
+LOG_SIZES = (20, 22, 24)
+GPU_COUNTS = (4, 8, 16)
+SCALING_LOG_N = 22
+
+#: fixed window so the study measures verification, not the autotune sweep
+WINDOW = 10
+
+#: at 2^24 points the (CPU-serial) verification tax may cost at most
+#: this multiple of the unverified makespan
+OVERHEAD_CEILING = 2.0
+
+#: quarantining 25% of the cluster may cost at most this slowdown over
+#: the honest verified run (survivors re-serve the rejected chunks)
+CHEATER_SLOWDOWN_BUDGET = 2.5
+
+#: functional column (bit-exactness proof riding along)
+FUNC_GPUS = 4
+FUNC_SEEDS = 6
+
+
+def _engine(gpus: int, **overrides) -> DistMsm:
+    return DistMsm(
+        MultiGpuSystem(gpus), DistMsmConfig(window_size=WINDOW, **overrides)
+    )
+
+
+def _overhead_pair(gpus: int, n: int) -> tuple[float, float, int]:
+    """(base_ms, verified_ms, chunk count) for one analytic configuration."""
+    base = _engine(gpus, verify_chunks=False).estimate(CURVE, n)
+    taxed = _engine(gpus, verify_chunks=True).estimate(CURVE, n)
+    report = taxed.byzantine_report
+    assert report is not None and report.verified
+    return base.time_ms, taxed.time_ms, len(report.chunks)
+
+
+def _amortization_sweep(payload: dict) -> None:
+    """Verify-on vs off across MSM sizes at 8 GPUs: the tax must fade."""
+    rows = {}
+    fractions = {}
+    for log_n in LOG_SIZES:
+        base_ms, taxed_ms, chunks = _overhead_pair(8, 1 << log_n)
+        fraction = (taxed_ms - base_ms) / base_ms
+        fractions[log_n] = fraction
+        rows[f"n{log_n}"] = {
+            "chunks": chunks,
+            "base_ms": round(base_ms, 3),
+            "verified_ms": round(taxed_ms, 3),
+            "overhead_fraction": round(fraction, 4),
+        }
+    largest = fractions[LOG_SIZES[-1]]
+    payload["amortization"] = {
+        **rows,
+        "gpus": 8,
+        "amortization_speedup": round(fractions[LOG_SIZES[0]] / largest, 2),
+        "ceiling": OVERHEAD_CEILING,
+        "overhead_within_budget": bool(largest < OVERHEAD_CEILING),
+    }
+
+
+def _chunk_scaling_sweep(payload: dict) -> None:
+    """Per-chunk verify cost across cluster sizes at 2^22 points."""
+    rows = {}
+    per_chunk = {}
+    n = 1 << SCALING_LOG_N
+    for gpus in GPU_COUNTS:
+        base_ms, taxed_ms, chunks = _overhead_pair(gpus, n)
+        per_chunk[gpus] = (taxed_ms - base_ms) / chunks
+        rows[f"g{gpus}"] = {
+            "chunks": chunks,
+            "overhead_ms": round(taxed_ms - base_ms, 3),
+            "per_chunk_ms": round(per_chunk[gpus], 4),
+        }
+    payload["chunk_scaling"] = {
+        **rows,
+        "log2_points": SCALING_LOG_N,
+        "per_chunk_scaling_speedup": round(
+            per_chunk[GPU_COUNTS[0]] / per_chunk[GPU_COUNTS[-1]], 2
+        ),
+    }
+
+
+def _cheater_makespans(payload: dict) -> None:
+    """Honest vs 1-cheater vs 25%-cheaters on the 8-GPU analytic path."""
+    gpus = 8
+    n = 1 << SCALING_LOG_N
+    engine = _engine(gpus)  # verify_chunks="auto"
+    honest = _engine(gpus, verify_chunks=True).estimate(CURVE, n)
+    one = engine.estimate(
+        CURVE, n, faults=FaultPlan.of(ByzantineWorker(gpus - 1, seed=2))
+    )
+    quarter_plan = FaultPlan.of(
+        *(ByzantineWorker(g, seed=g + 1) for g in range(gpus // 4))
+    )
+    quarter = engine.estimate(CURVE, n, faults=quarter_plan)
+    for result, cheaters in ((one, 1), (quarter, gpus // 4)):
+        report = result.byzantine_report
+        assert report is not None and report.caught
+        assert len(report.quarantined_gpus) == cheaters
+        checked = verify_msm_integrity(result)
+        assert checked.ok, [str(v) for v in checked.violations]
+    slowdown = quarter.time_ms / honest.time_ms
+    payload["cheater_makespans"] = {
+        "gpus": gpus,
+        "log2_points": SCALING_LOG_N,
+        "honest_verified_ms": round(honest.time_ms, 3),
+        "one_cheater_ms": round(one.time_ms, 3),
+        "quarter_cheaters_ms": round(quarter.time_ms, 3),
+        "quarter_slowdown": round(slowdown, 3),
+        "slowdown_budget": CHEATER_SLOWDOWN_BUDGET,
+        "cheaters_within_budget": bool(slowdown < CHEATER_SLOWDOWN_BUDGET),
+    }
+
+
+def _functional_column(payload: dict, seeds: int) -> None:
+    """Toy-curve proof: every seeded cheater plan stays bit-exact."""
+    toy = toy_curve()
+    cfg = DistMsmConfig(window_size=4, threads_per_block=32, points_per_thread=4)
+    engine = DistMsm(MultiGpuSystem(FUNC_GPUS), cfg)
+    scalars, points = msm_instance(toy, 32, seed=97)
+    expected = naive_msm(scalars, points, toy)
+    exact = caught = 0
+    modes = ("wrong-result", "bit-flip", "off-by-one-bucket")
+    for seed in range(seeds):
+        plan = FaultPlan.of(
+            ByzantineWorker(seed % FUNC_GPUS, mode=modes[seed % 3], seed=seed)
+        )
+        result = engine.execute(scalars, points, toy, faults=plan)
+        report = result.byzantine_report
+        checked = verify_msm_integrity(result)
+        assert checked.ok, [str(v) for v in checked.violations]
+        if result.point == expected:
+            exact += 1
+        if report.caught and report.quarantined_gpus == (seed % FUNC_GPUS,):
+            caught += 1
+    payload["functional"] = {
+        "gpus": FUNC_GPUS,
+        "plans": seeds,
+        "bit_exact": exact,
+        "cheaters_caught": caught,
+    }
+
+
+def byzantine_report(smoke: bool = False) -> dict:
+    payload: dict = {
+        "bench": "byzantine",
+        "curve": CURVE.name,
+        "window_size": WINDOW,
+        "smoke": smoke,
+    }
+    _amortization_sweep(payload)
+    _chunk_scaling_sweep(payload)
+    _cheater_makespans(payload)
+    _functional_column(payload, seeds=2 if smoke else FUNC_SEEDS)
+    return payload
+
+
+def check_invariants(payload: dict) -> None:
+    """The robustness claims this PR stands on."""
+    amort = payload["amortization"]
+    # verification is never free, and its share strictly falls with size
+    fracs = [amort[f"n{log_n}"]["overhead_fraction"] for log_n in LOG_SIZES]
+    assert all(f > 0.0 for f in fracs), amort
+    assert all(a > b for a, b in zip(fracs, fracs[1:])), amort
+    assert amort["overhead_within_budget"], amort
+    scaling = payload["chunk_scaling"]
+    per_chunk = [scaling[f"g{g}"]["per_chunk_ms"] for g in GPU_COUNTS]
+    assert all(a > b for a, b in zip(per_chunk, per_chunk[1:])), scaling
+    mk = payload["cheater_makespans"]
+    # catching cheaters costs time, never correctness
+    assert mk["one_cheater_ms"] >= mk["honest_verified_ms"], mk
+    assert mk["quarter_cheaters_ms"] >= mk["one_cheater_ms"], mk
+    assert mk["cheaters_within_budget"], mk
+    func = payload["functional"]
+    assert func["bit_exact"] == func["plans"], func
+    assert func["cheaters_caught"] == func["plans"], func
+
+
+def write_output(payload: dict) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_byzantine.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_bench_byzantine(benchmark):
+    payload = benchmark.pedantic(
+        byzantine_report, args=(True,), rounds=1, iterations=1
+    )
+    write_output(payload)
+    check_invariants(payload)
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    payload = byzantine_report(smoke=smoke)
+    check_invariants(payload)
+    path = write_output(payload)
+    amort = payload["amortization"]
+    scaling = payload["chunk_scaling"]
+    mk = payload["cheater_makespans"]
+    func = payload["functional"]
+    print(
+        f"byzantine: verify tax fades {amort['amortization_speedup']:.1f}x "
+        f"from 2^{LOG_SIZES[0]} to 2^{LOG_SIZES[-1]} "
+        f"(share {amort[f'n{LOG_SIZES[-1]}']['overhead_fraction']:.2f} vs "
+        f"ceiling {amort['ceiling']:.1f}); per-chunk cost scales "
+        f"{scaling['per_chunk_scaling_speedup']:.1f}x over "
+        f"{GPU_COUNTS[0]}->{GPU_COUNTS[-1]} GPUs; 25% cheaters "
+        f"{mk['quarter_slowdown']:.2f}x honest (budget "
+        f"{mk['slowdown_budget']:.1f}x); functional "
+        f"{func['bit_exact']}/{func['plans']} bit-exact, "
+        f"{func['cheaters_caught']}/{func['plans']} cheaters quarantined"
+    )
+    print(f"[saved to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -74,6 +74,27 @@ class DistMsmConfig:
     #: native big ints outrun the limb-sliced numpy Montgomery kernels at
     #: benchmark sizes.  ``True``/``False`` force one path everywhere.
     vectorized: bool | str = "auto"
+    #: verify delivered chunk results through the 2G2T commitment protocol
+    #: (repro.msm.outsource) before accumulating them.  ``"auto"`` (the
+    #: default) turns verification on exactly when the fault plan contains
+    #: a ByzantineWorker — the honest-cluster fast path stays untaxed;
+    #: ``True`` always verifies (charging the verification overhead even on
+    #: honest runs), ``False`` never does (a cheater then corrupts the
+    #: returned point — the attack demo).
+    verify_chunks: bool | str = "auto"
+    #: seed of the per-MSM verification challenge (repro.msm.outsource
+    #: derives the challenge scalar, every mask and every RLC coefficient
+    #: from it, so a verification transcript replays from this integer)
+    challenge_seed: int = 2024
+    #: amortise many chunk checks into one random-linear-combination check
+    #: (falling back to per-chunk checks only to localise a failure);
+    #: ``False`` checks every chunk individually
+    verify_batch: bool = True
+    #: worker-side cost of the blinded commitment pass, as a fraction of
+    #: the chunk's own compute time (the blinded pass re-runs scatter +
+    #: bucket-sum over masked digits; 1.0 = the full 2G2T second pass,
+    #: 0.0 models free commitments for overhead ablations)
+    verify_commit_factor: float = 1.0
 
     def __post_init__(self):
         if self.scatter not in ("hierarchical", "naive"):
@@ -104,3 +125,9 @@ class DistMsmConfig:
             raise ValueError(f"backoff_base_ms must be > 0, got {self.backoff_base_ms}")
         if self.heartbeat_ms <= 0:
             raise ValueError(f"heartbeat_ms must be > 0, got {self.heartbeat_ms}")
+        if self.verify_chunks not in (True, False, "auto"):
+            raise ValueError(f"unknown verify_chunks mode {self.verify_chunks!r}")
+        if self.verify_commit_factor < 0:
+            raise ValueError(
+                f"verify_commit_factor must be >= 0, got {self.verify_commit_factor}"
+            )

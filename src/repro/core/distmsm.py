@@ -44,14 +44,41 @@ from repro.core.scatter import (
 from repro.curves.params import CurveParams
 from repro.curves.point import AffinePoint
 from repro.curves.scalar import num_windows as window_count
-from repro.engine.faults import FaultPlan, GpuFailure, RetryPolicy, Straggler, TransferError
+from repro.engine.faults import (
+    ByzantineWorker,
+    FaultPlan,
+    GpuFailure,
+    RetryPolicy,
+    Straggler,
+    TransferError,
+)
 from repro.engine.timeline import TIME_EPS, Stage, Task, Timeline, simulate
+from repro.faults.byzantine import (
+    VERDICT_ACCEPTED,
+    VERDICT_LOST,
+    VERDICT_REJECTED,
+    VERDICT_UNVERIFIED,
+    ByzantineReport,
+    ChunkOutcome,
+    corrupt_partials,
+)
 from repro.faults.recovery import (
     FaultRecoveryError,
     FaultReport,
     RecoveryRound,
     detection_time_ms,
     redistribute_assignments,
+)
+from repro.msm.outsource import (
+    ChunkClaim,
+    batch_verify,
+    chunk_value,
+    make_response,
+    response_padds,
+    sample_challenge,
+    soundness_bits,
+    verify_chunk,
+    verify_padds,
 )
 from repro.gpu.cluster import MultiGpuSystem
 from repro.gpu.counters import EventCounters
@@ -95,6 +122,10 @@ class DistMsmResult:
     #: when set, ``time_ms`` is the *recovered* makespan and ``timeline``
     #: is the chunk-granular fault schedule, so ``time_ms != times.total``
     fault_report: FaultReport | None = None
+    #: verification audit (``None`` unless chunk verification ran or the
+    #: plan contained a ByzantineWorker): per-chunk verdicts, quarantine
+    #: decisions and the consumed-slot map the integrity checker replays
+    byzantine_report: ByzantineReport | None = None
 
 
 @dataclass
@@ -128,10 +159,26 @@ class _Chunk:
     phase: GpuPhaseMs
     not_before_ms: float
     partials: list  # per-slot backend partials (None on the analytic path)
+    #: the worker's commitment claim (None when verification is off)
+    claim: ChunkClaim | None = None
+    #: ground truth: a forgery was applied and changed the chunk value
+    corrupted: bool = False
+    #: worker-side blinded-pass + response time (0 when verification is off)
+    commit_ms: float = 0.0
+    #: dispatcher-side response-check time (0 when verification is off)
+    verify_ms: float = 0.0
 
     @property
     def transfer_task(self) -> str:
         return f"msm:r{self.round}:transfer:g{self.gpu}"
+
+    @property
+    def commit_task(self) -> str:
+        return f"msm:r{self.round}:commit:g{self.gpu}"
+
+    @property
+    def verify_task(self) -> str:
+        return f"msm:r{self.round}:verify:g{self.gpu}"
 
 
 #: window-size auto-tune results, keyed by (curve, n, gpus, spec, config)
@@ -221,8 +268,10 @@ class DistMsm:
             )
         s = self.window_size_for(curve, n)
         backend = FunctionalBackend(self, scalars, points, curve)
-        if faults is not None and not faults.empty:
-            return self._orchestrate_faulty(backend, curve, n, s, faults, trace)
+        if (faults is not None and not faults.empty) or self.config.verify_chunks is True:
+            return self._orchestrate_faulty(
+                backend, curve, n, s, faults or FaultPlan(), trace
+            )
         return self._orchestrate(backend, curve, n, s, trace)
 
     def estimate(
@@ -244,8 +293,10 @@ class DistMsm:
             raise ValueError("n must be positive")
         s = self.window_size_for(curve, n)
         backend = AnalyticBackend(self, curve, n)
-        if faults is not None and not faults.empty:
-            return self._orchestrate_faulty(backend, curve, n, s, faults, trace)
+        if (faults is not None and not faults.empty) or self.config.verify_chunks is True:
+            return self._orchestrate_faulty(
+                backend, curve, n, s, faults or FaultPlan(), trace
+            )
         return self._orchestrate(backend, curve, n, s, trace)
 
     # -- the one orchestration body -----------------------------------------
@@ -386,7 +437,9 @@ class DistMsm:
                     f"{prefix}:scatter:g{c.gpu}",
                     f"{prefix}:sum:g{c.gpu}",
                     f"{prefix}:reduce:g{c.gpu}",
+                    c.commit_task,
                     c.transfer_task,
+                    c.verify_task,
                 ):
                     if task in task_args:
                         task_args[task].update(meta)
@@ -521,7 +574,10 @@ class DistMsm:
         nodes = self.system.nodes
         dead: set[int] = set()
         for event in faults.events:
-            if isinstance(event, (GpuFailure, Straggler)) and event.gpu_id >= num:
+            if (
+                isinstance(event, (GpuFailure, Straggler, ByzantineWorker))
+                and event.gpu_id >= num
+            ):
                 raise ValueError(
                     f"fault targets gpu {event.gpu_id}, system has {num} GPUs"
                 )
@@ -557,8 +613,12 @@ class DistMsm:
             )
 
     def _chunk_tasks(self, chunks: list[_Chunk], resources) -> list[Task]:
-        """The recoverable task graph: scatter -> sum [-> reduce] -> transfer
-        per chunk, with the transfer requiring the producing GPU alive."""
+        """The recoverable task graph: scatter -> sum [-> reduce] [-> commit]
+        -> transfer [-> verify] per chunk, with the transfer requiring the
+        producing GPU alive.  The commit task is the worker's blinded
+        commitment pass (on the GPU); the verify task is the dispatcher's
+        response check (on the host CPU) — both exist only when chunk
+        verification is on."""
         tasks: list[Task] = []
         for c in chunks:
             gpu_res = resources.gpu(c.gpu)
@@ -581,11 +641,22 @@ class DistMsm:
                          c.not_before_ms)
                 )
                 last = reduce_name
+            if c.commit_ms > 0:
+                tasks.append(
+                    Task(c.commit_task, gpu_res, c.commit_ms, (last,), stage,
+                         c.not_before_ms)
+                )
+                last = c.commit_task
             tasks.append(
                 Task(c.transfer_task, resources.channel_for_gpu(c.gpu),
                      c.phase.transfer, (last,), stage, c.not_before_ms,
                      (gpu_res.name,))
             )
+            if c.verify_ms > 0:
+                tasks.append(
+                    Task(c.verify_task, resources.cpu, c.verify_ms,
+                         (c.transfer_task,), stage, c.not_before_ms)
+                )
         return tasks
 
     @staticmethod
@@ -598,7 +669,11 @@ class DistMsm:
             names.append(f"{prefix}:sum:g{c.gpu}")
             if c.phase.reduce > 0:
                 names.append(f"{prefix}:reduce:g{c.gpu}")
+            if c.commit_ms > 0:
+                names.append(c.commit_task)
             names.append(c.transfer_task)
+            if c.verify_ms > 0:
+                names.append(c.verify_task)
         stages = [
             Stage(f"round{r}", tuple(by_round[r])) for r in sorted(by_round)
         ]
@@ -621,6 +696,17 @@ class DistMsm:
         (a presumed-lost transfer that still lands) are discarded by slot,
         so the combine consumes each (window, bucket-range) cell once and
         the functional result stays bit-exact.
+
+        With chunk verification on (``verify_chunks=True``, or ``"auto"``
+        and the plan contains a :class:`ByzantineWorker`), every delivered
+        chunk passes the 2G2T response check (:mod:`repro.msm.outsource`)
+        before it may cover a slot: a rejected chunk counts as lost, its
+        GPU is quarantined (no further dispatch — the same bookkeeping that
+        blacklists dead GPUs), and the work is re-planned onto *trusted*
+        survivors.  Detection of a rejection is host-side (the verify task's
+        completion), not heartbeat-gated.  Verified-accepted results are
+        kept even from GPUs later quarantined — trust comes from the math,
+        not the worker.
         """
         config = self.config
         self._validate_fault_plan(faults)
@@ -630,6 +716,16 @@ class DistMsm:
         resources = self.system.resources()
         gpu_deaths = faults.gpu_death_times()
         num_slots = len(plan.assignments)
+        cpu_rate = self.system.cpu_padd_rate()
+
+        byz = faults.byzantine_workers()
+        verify_on = config.verify_chunks is True or (
+            config.verify_chunks == "auto" and bool(byz)
+        )
+        challenge = (
+            sample_challenge(curve, config.challenge_seed) if verify_on else None
+        )
+        desc = KernelDescriptor(curve, config.kernel_opts)
 
         chunks: list[_Chunk] = []
 
@@ -645,9 +741,72 @@ class DistMsm:
                 self._charge_chunk_reduce(work, assignments, buckets_total, s)
             work.transfer_points = work.buckets_touched
             phase = self._gpu_phase(curve, buckets_total, work)
+            ev = byz.get(gpu)
+            cheats = ev is not None and ev.cheats_in_round(rnd)
+            corrupted = False
+            claim: ChunkClaim | None = None
+            if backend.functional:
+                if verify_on:
+                    # the blinded pass runs over the honest work, *before*
+                    # the forgery: a cheater cannot recompute a consistent
+                    # response without the challenge scalar and the mask
+                    value = chunk_value(partials, curve)
+                    claim = ChunkClaim(
+                        rnd, gpu,
+                        response=make_response(challenge, value, rnd, gpu, curve),
+                    )
+                if cheats:
+                    partials, corrupted = corrupt_partials(
+                        ev.mode, ev.seed, rnd, gpu, partials, curve
+                    )
+            else:
+                corrupted = cheats  # modelled forgery always changes the value
+                if verify_on:
+                    claim = ChunkClaim(rnd, gpu, modelled_corrupt=corrupted)
+            commit_ms = verify_ms = 0.0
+            if verify_on:
+                commit_ms = config.verify_commit_factor * (
+                    phase.scatter + phase.bucket_sum + phase.reduce
+                ) + ec_ops_time_ms(
+                    desc, "padd", response_padds(curve.scalar_bits),
+                    self.system.spec, 1, config.api,
+                )
+                verify_ms = cpu_ec_time_ms(
+                    verify_padds(
+                        max(1, int(round(work.buckets_touched))),
+                        curve.scalar_bits, config.verify_batch,
+                    ),
+                    0, cpu_rate,
+                )
             chunks.append(
-                _Chunk(rnd, gpu, tuple(slot_ids), work, phase, not_before, partials)
+                _Chunk(
+                    rnd, gpu, tuple(slot_ids), work, phase, not_before, partials,
+                    claim=claim, corrupted=corrupted,
+                    commit_ms=commit_ms, verify_ms=verify_ms,
+                )
             )
+
+        verdict_cache: dict[tuple[int, int], bool] = {}
+
+        def accepts(c: _Chunk) -> bool:
+            """The (deterministic) response check of one delivered chunk."""
+            if not verify_on:
+                return True
+            key = (c.round, c.gpu)
+            if key not in verdict_cache:
+                if backend.functional:
+                    verdict_cache[key] = verify_chunk(
+                        challenge, chunk_value(c.partials, curve),
+                        c.claim.response, c.round, c.gpu, curve,
+                    )
+                else:
+                    verdict_cache[key] = not c.claim.modelled_corrupt
+            return verdict_cache[key]
+
+        def verify_end(tl: Timeline, c: _Chunk) -> float:
+            if c.verify_task in tl.spans:
+                return tl.spans[c.verify_task].end_ms
+            return tl.spans[c.transfer_task].end_ms
 
         by_gpu: dict[int, list[int]] = {}
         for i, a in enumerate(plan.assignments):
@@ -659,6 +818,7 @@ class DistMsm:
             RecoveryRound(0, tuple(sorted(by_gpu)), (), (), 0.0, 0.0)
         ]
         transfer_victims: set[int] = set()
+        quarantine_at: dict[int, float] = {}
 
         def latest_copy(slot: int) -> _Chunk:
             return next(c for c in reversed(chunks) if slot in c.slots)
@@ -667,25 +827,36 @@ class DistMsm:
         max_rounds = len(faults.events) + self.system.num_gpus + 2
         for _ in range(max_rounds):
             timeline = simulate(self._chunk_tasks(chunks, resources), (), faults, retry)
-            uncovered = {
-                slot
-                for slot in range(num_slots)
-                if not any(
-                    slot in c.slots and c.transfer_task in timeline.spans
-                    for c in chunks
-                )
-            }
+            covered: set[int] = set()
+            for c in chunks:
+                if c.transfer_task in timeline.spans and accepts(c):
+                    covered.update(c.slots)
+            uncovered = set(range(num_slots)) - covered
             if not uncovered:
                 break
             for f in timeline.failures:
                 if f.reason == "transfer-error":
                     transfer_victims.add(int(f.task.rsplit(":g", 1)[1]))
+            # quarantine every GPU whose delivered chunk failed verification
+            # (at the rejecting check's completion — no heartbeat involved)
+            for c in chunks:
+                if c.transfer_task in timeline.spans and not accepts(c):
+                    quarantine_at.setdefault(c.gpu, verify_end(timeline, c))
             lost = {(c.round, c.gpu): c for c in map(latest_copy, uncovered)}
-            trigger = max(
-                timeline.failure_for(c.transfer_task).at_ms  # type: ignore[union-attr]
-                for c in lost.values()
-            )
-            detect = detection_time_ms(trigger, config.heartbeat_ms)
+            fail_ts: list[float] = []
+            reject_ts: list[float] = []
+            for c in lost.values():
+                if c.transfer_task in timeline.spans:
+                    reject_ts.append(verify_end(timeline, c))
+                else:
+                    fail_ts.append(
+                        timeline.failure_for(c.transfer_task).at_ms  # type: ignore[union-attr]
+                    )
+            detect = 0.0
+            if fail_ts:
+                detect = detection_time_ms(max(fail_ts), config.heartbeat_ms)
+            if reject_ts:
+                detect = max(detect, max(reject_ts))
             dead_known = {
                 g for g, t in gpu_deaths.items()
                 if detection_time_ms(t, config.heartbeat_ms) <= detect + TIME_EPS
@@ -693,13 +864,17 @@ class DistMsm:
             survivors = [
                 g for g in range(self.system.num_gpus)
                 if g not in dead_known and g not in transfer_victims
+                and g not in quarantine_at
             ]
             if not survivors:
                 survivors = [
-                    g for g in range(self.system.num_gpus) if g not in dead_known
+                    g for g in range(self.system.num_gpus)
+                    if g not in dead_known and g not in quarantine_at
                 ]
             if not survivors:
-                raise FaultRecoveryError("every GPU failed before recovery completed")
+                raise FaultRecoveryError(
+                    "no trusted survivor: every GPU is dead or quarantined"
+                )
             slot_ids = sorted(uncovered)
             moved = redistribute_assignments(
                 [plan.assignments[i] for i in slot_ids], survivors
@@ -728,10 +903,11 @@ class DistMsm:
             )
         assert timeline is not None
 
-        # exactly one delivered execution per slot (earliest round wins)
+        # exactly one delivered-and-accepted execution per slot (earliest
+        # round wins); rejected deliveries never reach the accumulation
         live: dict[int, tuple[_Chunk, object]] = {}
         for c in chunks:
-            if c.transfer_task in timeline.spans:
+            if c.transfer_task in timeline.spans and accepts(c):
                 for slot, partial in zip(c.slots, c.partials):
                     live.setdefault(slot, (c, partial))
 
@@ -762,10 +938,17 @@ class DistMsm:
             cpu_ec_time_ms(cpu_counters.cpu_padd, cpu_counters.cpu_pdbl, cpu_rate)
             + config.node_sync_ms * self.system.nodes
         )
-        live_transfers = tuple(
-            sorted({c.transfer_task for c, _ in live.values()})
+        # with verification on, accumulation may only start once the live
+        # chunks' response checks completed — the gate the auditor enforces
+        live_deps = tuple(
+            sorted(
+                {
+                    (c.verify_task if verify_on else c.transfer_task)
+                    for c, _ in live.values()
+                }
+            )
         )
-        cpu_task = Task("msm:host-reduce", resources.cpu, cpu_ms, live_transfers, "host")
+        cpu_task = Task("msm:host-reduce", resources.cpu, cpu_ms, live_deps, "host")
         final_tasks = self._chunk_tasks(chunks, resources) + [cpu_task]
         check_plan(final_tasks, label="<distmsm recovery plan>")
         timeline = simulate(
@@ -775,11 +958,16 @@ class DistMsm:
             retry,
         )
 
-        # fault-free baseline on the same task-graph model (round 0 only)
+        # fault-free baseline on the same task-graph model (round 0 only,
+        # verification costs included when on — so the recovery overhead
+        # isolates the faults, not the protocol tax)
         round0 = [c for c in chunks if c.round == 0]
         base_cpu = Task(
             "msm:host-reduce", resources.cpu, cpu_ms,
-            tuple(sorted(c.transfer_task for c in round0)), "host",
+            tuple(sorted(
+                (c.verify_task if verify_on else c.transfer_task) for c in round0
+            )),
+            "host",
         )
         baseline = simulate(
             self._chunk_tasks(round0, resources) + [base_cpu],
@@ -816,6 +1004,78 @@ class DistMsm:
             retries=len(timeline.attempts),
         )
 
+        # -- verification accounting and the Byzantine audit trail ----------
+        chunk_checks = batch_checks = 0
+        if verify_on:
+            for r in sorted({c.round for c in chunks}):
+                delivered = [
+                    c for c in chunks
+                    if c.round == r and c.transfer_task in timeline.spans
+                ]
+                if not delivered:
+                    continue
+                if config.verify_batch:
+                    batch_checks += 1
+                    if backend.functional:
+                        batch_ok = batch_verify(
+                            challenge,
+                            [
+                                (c.round, c.gpu, chunk_value(c.partials, curve),
+                                 c.claim.response)
+                                for c in delivered
+                            ],
+                            curve,
+                        )
+                    else:
+                        batch_ok = all(accepts(c) for c in delivered)
+                    if not batch_ok:  # fall back per chunk to localise
+                        chunk_checks += len(delivered)
+                else:
+                    chunk_checks += len(delivered)
+
+        byz_report: ByzantineReport | None = None
+        if verify_on or byz:
+            outcomes = []
+            for c in chunks:
+                delivered = c.transfer_task in timeline.spans
+                scatter = f"msm:r{c.round}:scatter:g{c.gpu}"
+                dispatched = (
+                    timeline.spans[scatter].start_ms
+                    if scatter in timeline.spans
+                    else c.not_before_ms
+                )
+                if not delivered:
+                    verdict, vtime = VERDICT_LOST, -1.0
+                elif not verify_on:
+                    verdict, vtime = VERDICT_UNVERIFIED, -1.0
+                elif accepts(c):
+                    verdict, vtime = VERDICT_ACCEPTED, verify_end(timeline, c)
+                else:
+                    verdict, vtime = VERDICT_REJECTED, verify_end(timeline, c)
+                outcomes.append(
+                    ChunkOutcome(
+                        c.round, c.gpu, c.slots, c.corrupted, delivered,
+                        verdict, dispatched, vtime,
+                    )
+                )
+            byz_report = ByzantineReport(
+                challenge_seed=config.challenge_seed,
+                scheme="2g2t-rlc" if config.verify_batch else "2g2t",
+                soundness_bits=soundness_bits(curve),
+                verified=verify_on,
+                cheaters=tuple(sorted(byz)),
+                quarantined=tuple(sorted(quarantine_at.items())),
+                chunks=tuple(outcomes),
+                consumed=tuple(
+                    sorted((slot, c.round, c.gpu) for slot, (c, _) in live.items())
+                ),
+                chunk_checks=chunk_checks,
+                batch_checks=batch_checks,
+                rejected=sum(
+                    1 for o in outcomes if o.verdict == VERDICT_REJECTED
+                ),
+            )
+
         per_gpu_work = [_GpuWork() for _ in range(self.system.num_gpus)]
         for c in chunks:
             agg = per_gpu_work[c.gpu]
@@ -844,6 +1104,12 @@ class DistMsm:
                 recovery_rounds=len(rounds),
                 dead_gpus=list(dead),
             )
+            if byz_report is not None:
+                trace.annotate(
+                    verified=verify_on,
+                    byzantine_gpus=list(byz_report.cheaters),
+                    quarantined_gpus=list(byz_report.quarantined_gpus),
+                )
         return DistMsmResult(
             point=point,
             time_ms=recovered_ms,
@@ -855,4 +1121,5 @@ class DistMsm:
             timeline=timeline,
             breakdown=breakdown,
             fault_report=report,
+            byzantine_report=byz_report,
         )

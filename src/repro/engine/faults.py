@@ -20,6 +20,12 @@ multi-GPU ZKP deployments (ZKProphet's tail/variance observation):
 * :class:`TransferError` — the node's host link corrupts whatever transfer
   is in flight at ``at_ms``; ``transient`` errors are retryable under a
   :class:`RetryPolicy` (exponential backoff), permanent ones are not.
+* :class:`ByzantineWorker` — the GPU stays alive and on time but returns
+  *forged* chunk results (wrong point, flipped bit, shifted bucket); the
+  timeline simulator ignores it (timing is unaffected), the orchestrator
+  corrupts that GPU's delivered partials deterministically and must catch
+  the forgery through the :mod:`repro.msm.outsource` verification
+  protocol (DESIGN.md §14).
 
 Events address resources by the standard :func:`~repro.engine.resources.
 system_resources` names (``"gpu3"``, ``"node0-link"``), which keeps the
@@ -103,7 +109,46 @@ class TransferError:
         return channel_resource_name(self.node)
 
 
-FaultEvent = GpuFailure | Straggler | TransferError
+#: corruption modes a Byzantine worker may apply to its chunk results
+BYZANTINE_MODES = ("wrong-result", "bit-flip", "off-by-one-bucket")
+
+
+@dataclass(frozen=True)
+class ByzantineWorker:
+    """GPU ``gpu_id`` forges its chunk results (but meets every deadline).
+
+    ``mode`` picks the corruption applied to the delivered bucket partials
+    (see :mod:`repro.faults.byzantine`); ``round`` restricts the cheating
+    to one recovery round (the adaptive "cheat only on round r" attacker),
+    ``None`` cheats on every chunk it is ever dispatched; ``seed`` drives
+    the deterministic corruption PRG so every forgery is replayable.
+    """
+
+    gpu_id: int
+    mode: str = "wrong-result"
+    round: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.gpu_id < 0:
+            raise ValueError(f"ByzantineWorker.gpu_id must be >= 0, got {self.gpu_id}")
+        if self.mode not in BYZANTINE_MODES:
+            raise ValueError(
+                f"unknown byzantine mode {self.mode!r}; choose from {BYZANTINE_MODES}"
+            )
+        if self.round is not None and self.round < 0:
+            raise ValueError(f"ByzantineWorker.round must be >= 0, got {self.round}")
+
+    @property
+    def resource(self) -> str:
+        return gpu_resource_name(self.gpu_id)
+
+    def cheats_in_round(self, rnd: int) -> bool:
+        """Whether this worker forges the chunk it runs in round ``rnd``."""
+        return self.round is None or self.round == rnd
+
+
+FaultEvent = GpuFailure | Straggler | TransferError | ByzantineWorker
 
 
 @dataclass(frozen=True)
@@ -135,8 +180,9 @@ class RetryPolicy:
 class FaultPlan:
     """A validated, deterministic schedule of fault events.
 
-    At most one :class:`GpuFailure` and one :class:`Straggler` per GPU;
-    any number of :class:`TransferError` events per link.  The plan is the
+    At most one :class:`GpuFailure`, one :class:`Straggler` and one
+    :class:`ByzantineWorker` per GPU; any number of
+    :class:`TransferError` events per link.  The plan is the
     single source of truth for a chaos run: the engine consumes it, the
     orchestrator re-plans around it, and the independent checker
     (:mod:`repro.verify.faultcheck`) audits the resulting timeline
@@ -148,6 +194,7 @@ class FaultPlan:
     def __post_init__(self) -> None:
         dead: set[int] = set()
         slowed: set[int] = set()
+        byzantine: set[int] = set()
         for event in self.events:
             if isinstance(event, GpuFailure):
                 if event.gpu_id in dead:
@@ -157,6 +204,12 @@ class FaultPlan:
                 if event.gpu_id in slowed:
                     raise ValueError(f"duplicate Straggler for gpu {event.gpu_id}")
                 slowed.add(event.gpu_id)
+            elif isinstance(event, ByzantineWorker):
+                if event.gpu_id in byzantine:
+                    raise ValueError(
+                        f"duplicate ByzantineWorker for gpu {event.gpu_id}"
+                    )
+                byzantine.add(event.gpu_id)
             elif not isinstance(event, TransferError):
                 raise TypeError(f"unknown fault event {event!r}")
 
@@ -189,6 +242,12 @@ class FaultPlan:
         ):
             out.setdefault(event.resource, []).append(event)
         return out
+
+    def byzantine_workers(self) -> dict[int, ByzantineWorker]:
+        """GPU id -> its Byzantine event (the timing layers ignore these)."""
+        return {
+            e.gpu_id: e for e in self.events if isinstance(e, ByzantineWorker)
+        }
 
     def gpu_failures(self) -> tuple[GpuFailure, ...]:
         """Every GPU failure, in time order."""

@@ -2,27 +2,34 @@
 
 The chaos layer of the reproduction (ROADMAP: production-scale robustness;
 ZKProphet's observation that real ZKP-on-GPU deployments are dominated by
-tail and failure effects rather than mean kernel time).  Three pieces:
+tail and failure effects rather than mean kernel time).  Four pieces:
 
 * **Event types** (re-exported from :mod:`repro.engine.faults`, where the
   timeline simulator consumes them): :class:`GpuFailure`,
-  :class:`Straggler`, :class:`TransferError`, bundled into a validated
-  :class:`FaultPlan`, plus the :class:`RetryPolicy` governing transient
-  transfer-error retries.
+  :class:`Straggler`, :class:`TransferError` and the fail-*lying*
+  :class:`ByzantineWorker`, bundled into a validated :class:`FaultPlan`,
+  plus the :class:`RetryPolicy` governing transient transfer-error
+  retries.
 * **Recovery policy** (:mod:`repro.faults.recovery`): heartbeat-style
   detection times, redistribution of a dead GPU's assignments over the
   survivors, and the :class:`FaultReport` the orchestrator attaches to a
   recovered :class:`~repro.core.distmsm.DistMsmResult`.
+* **Byzantine layer** (:mod:`repro.faults.byzantine`): the deterministic
+  result-forgery modes (:func:`corrupt_partials`) and the
+  :class:`ByzantineReport` verification audit; the protocol math lives in
+  :mod:`repro.msm.outsource`.
 * **Chaos generation** (:mod:`repro.faults.chaos`):
   :func:`random_fault_plan` derives a reproducible fault schedule from a
   seed — the property-test and benchmark entry point.
 
 The orchestration itself lives in :meth:`repro.core.distmsm.DistMsm
-.execute` / ``estimate`` (``faults=`` keyword); the independent audit in
-:mod:`repro.verify.faultcheck`.
+.execute` / ``estimate`` (``faults=`` keyword); the independent audits in
+:mod:`repro.verify.faultcheck` and :mod:`repro.verify.integritycheck`.
 """
 
 from repro.engine.faults import (
+    BYZANTINE_MODES,
+    ByzantineWorker,
     FaultEvent,
     FaultPlan,
     GpuFailure,
@@ -32,16 +39,24 @@ from repro.engine.faults import (
     channel_resource_name,
     gpu_resource_name,
 )
+from repro.faults.byzantine import (
+    ByzantineReport,
+    ChunkOutcome,
+    corrupt_partials,
+)
 from repro.faults.chaos import random_fault_plan
 from repro.faults.recovery import (
     FaultRecoveryError,
     FaultReport,
     RecoveryRound,
     detection_time_ms,
+    fault_event_dict,
     redistribute_assignments,
 )
 
 __all__ = [
+    "BYZANTINE_MODES",
+    "ByzantineWorker",
     "FaultEvent",
     "FaultPlan",
     "GpuFailure",
@@ -50,10 +65,14 @@ __all__ = [
     "TransferError",
     "channel_resource_name",
     "gpu_resource_name",
+    "ByzantineReport",
+    "ChunkOutcome",
+    "corrupt_partials",
     "FaultRecoveryError",
     "FaultReport",
     "RecoveryRound",
     "detection_time_ms",
+    "fault_event_dict",
     "redistribute_assignments",
     "random_fault_plan",
 ]

@@ -21,17 +21,30 @@ The recovery model (DESIGN.md §9):
 
 from __future__ import annotations
 
+import json
 import math
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import TYPE_CHECKING, Sequence
 
-from repro.engine.faults import FaultPlan
+from repro.engine.faults import FaultEvent, FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.planner import Assignment
 
 #: guard for float heartbeat-tick arithmetic
 _TICK_EPS = 1e-9
+
+
+def fault_event_dict(event: FaultEvent) -> dict:
+    """One fault event as a plain dict tagged with its type name.
+
+    The stable serialisation both :meth:`FaultReport.to_json` and chaos-run
+    archiving use: field dict plus ``"type"``, so heterogeneous plans
+    round-trip through sorted-key JSON deterministically.
+    """
+    record = asdict(event)
+    record["type"] = type(event).__name__
+    return record
 
 
 class FaultRecoveryError(RuntimeError):
@@ -123,3 +136,27 @@ class FaultReport:
                 f"next-MSM window {self.window_size}->{self.replanned_window_size}"
             )
         return ", ".join(parts)
+
+    def to_json(self) -> str:
+        """Deterministic JSON export (sorted keys) for archiving chaos runs.
+
+        The fault plan's events are serialised as typed dicts
+        (:func:`fault_event_dict`), so the archived record fully determines
+        the run it came from.
+        """
+        record = {
+            "plan": [fault_event_dict(e) for e in self.plan.events],
+            "rounds": [
+                {**asdict(r), "lost_chunks": [list(c) for c in r.lost_chunks],
+                 "gpus": list(r.gpus), "failed_gpus": list(r.failed_gpus)}
+                for r in self.rounds
+            ],
+            "dead_gpus": list(self.dead_gpus),
+            "surviving_gpus": list(self.surviving_gpus),
+            "fault_free_ms": self.fault_free_ms,
+            "recovered_ms": self.recovered_ms,
+            "window_size": self.window_size,
+            "replanned_window_size": self.replanned_window_size,
+            "retries": self.retries,
+        }
+        return json.dumps(record, sort_keys=True)

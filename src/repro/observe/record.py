@@ -28,6 +28,8 @@ _PHASE_RULES: tuple[tuple[str, str], ...] = (
     (":sum", "bucket-sum"),
     ("transfer", "transfer"),
     ("xfer", "transfer"),
+    ("commit", "commit"),
+    (":verify", "verify"),
     ("window-reduce", "window-reduce"),
     ("bucket-reduce", "bucket-reduce"),
     ("host-reduce", "reduce"),

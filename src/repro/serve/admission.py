@@ -11,6 +11,11 @@ cannot finish.  Every arriving request passes through the
 * ``deadline-infeasible`` — even starting immediately on the
   least-loaded group, the request's modelled completion would overshoot
   its deadline, so accepting it would only waste GPU time.
+* ``untrusted-capacity`` — chunk verification is on and no GPU is both
+  alive and trusted (every survivor is a known always-cheating Byzantine
+  worker), so no result the cluster could produce would ever pass
+  verify-on-receive; queueing would promise work that can only be
+  rejected.
 
 Shed requests *never execute* — the servecheck verifier
 (:mod:`repro.verify.servecheck`) audits that no shed request has a task
@@ -33,6 +38,7 @@ from repro.serve.queue import ProofRequest
 #: shed reasons (the only values ShedEvent.reason may take)
 SHED_QUEUE_FULL = "queue-full"
 SHED_INFEASIBLE = "deadline-infeasible"
+SHED_UNTRUSTED = "untrusted-capacity"
 
 
 @dataclass(frozen=True)
@@ -44,7 +50,7 @@ class ShedEvent:
     reason: str
 
     def __post_init__(self) -> None:
-        if self.reason not in (SHED_QUEUE_FULL, SHED_INFEASIBLE):
+        if self.reason not in (SHED_QUEUE_FULL, SHED_INFEASIBLE, SHED_UNTRUSTED):
             raise ValueError(f"unknown shed reason {self.reason!r}")
 
 
@@ -105,6 +111,10 @@ class AdmissionController:
         event = ShedEvent(request, at_ms, reason)
         self.shed.append(event)
         return event
+
+    def shed_untrusted(self, request: ProofRequest, at_ms: float) -> ShedEvent:
+        """Shed because no GPU is both alive and trusted (quarantine)."""
+        return self._shed(request, at_ms, SHED_UNTRUSTED)
 
     def shed_count(self, reason: str | None = None) -> int:
         if reason is None:

@@ -20,6 +20,16 @@ detection tick, re-planned at the survivors' capacity, and the request
 completes late but correct — functional payloads stay bit-exact because
 the MSM math never depends on which GPUs ran it.
 
+Byzantine workers (:class:`~repro.engine.faults.ByzantineWorker` events)
+extend the same machinery to fail-*lying* GPUs: with chunk verification
+on (``DistMsmConfig.verify_chunks``), an attempt executed on a cheating
+GPU is rejected at its reduce's completion (verify-on-receive — host
+side, no heartbeat latency), the cheater is quarantined with the same
+bookkeeping that blacklists dead GPUs (capacity degrade included), and
+the attempt is re-emitted on trusted survivors.  When no GPU is both
+alive and trusted, arrivals are shed with the typed
+``untrusted-capacity`` reason instead of queueing unkeepable promises.
+
 ``ServeConfig(overlap=False)`` is the honest one-request-at-a-time
 baseline: one group, batch size one, and each request's GPU stage gated
 on the previous request's host reduce — no cross-request overlap at all.
@@ -42,6 +52,7 @@ from repro.engine.timeline import TIME_EPS, Task, Timeline, simulate
 from repro.faults.recovery import FaultRecoveryError, detection_time_ms
 from repro.gpu.cluster import MultiGpuSystem
 from repro.serve.admission import (
+    SHED_UNTRUSTED,
     AdmissionConfig,
     AdmissionController,
     ShedEvent,
@@ -135,6 +146,9 @@ class ServeResult:
     faults: FaultPlan | None = None
     #: task-emission audit trail: request id -> its attempts, in order
     emissions: dict = field(default_factory=dict)
+    #: Byzantine quarantine decisions: gpu id -> time its first rejected
+    #: attempt completed (empty when verification never rejected anything)
+    quarantined: dict = field(default_factory=dict)
 
     def record_for(self, req_id: int) -> RequestRecord | None:
         for record in self.records:
@@ -245,6 +259,20 @@ class MsmProofServer:
         source = workload if isinstance(workload, ClosedLoopSource) else None
         initial = source.initial_arrivals() if source is not None else list(workload)
 
+        byz = faults.byzantine_workers() if faults is not None else {}
+        verify_on = self.config.verify_chunks is True or (
+            self.config.verify_chunks == "auto" and bool(byz)
+        )
+        deaths = faults.gpu_death_times() if faults is not None else {}
+        # verification on and every GPU dead or always-cheating: nothing the
+        # cluster produces could ever be accepted, so arrivals are shed with
+        # the typed untrusted-capacity reason rather than queued
+        hopeless = verify_on and all(
+            g in deaths or (g in byz and byz[g].round is None)
+            for g in range(self.system.num_gpus)
+        )
+        quarantined: dict[int, float] = {}
+
         retry = RetryPolicy(self.config.max_retries, self.config.backoff_base_ms)
         policy = self.serve_config.batch_policy()
         queue = RequestQueue(self.serve_config.max_queue)
@@ -290,6 +318,9 @@ class MsmProofServer:
             while arrivals and arrivals[0][0] <= clock + TIME_EPS:
                 _, _, request = heapq.heappop(arrivals)
                 submitted.append(request)
+                if hopeless:
+                    admission.shed_untrusted(request, request.arrival_ms)
+                    continue
                 earliest_start = max(
                     request.arrival_ms, min(group_free.values(), default=0.0)
                 )
@@ -309,8 +340,11 @@ class MsmProofServer:
                 clock = max(clock, arrivals[0][0])
                 continue
 
-            # 2. fault-degraded capacity at this instant
-            dead = self._known_dead(faults, clock)
+            # 2. fault-degraded capacity at this instant (quarantined GPUs
+            # count as lost capacity — same bookkeeping as dead ones)
+            dead = self._known_dead(faults, clock) | {
+                g for g, t in quarantined.items() if t <= clock + TIME_EPS
+            }
             live = self._live_groups(dead)
             if not live:
                 # every group currently headless: wait for nothing — the
@@ -358,9 +392,15 @@ class MsmProofServer:
                 plans[r.req_id].gpu_ms for r in batch.requests
             )
 
-            # 5. closed loop: completions release the clients' next requests
+            # 5. resolve in-stream when completions feed back (closed loop)
+            # or when verification could quarantine a cheater: later batch
+            # closes must see the quarantine the instant it happens, exactly
+            # like a detected death — no dispatch after quarantine
+            if source is not None or (verify_on and byz):
+                timeline = self._resolve(
+                    tasks, emissions, faults, retry, group_free, quarantined
+                )
             if source is not None:
-                timeline = self._resolve(tasks, emissions, faults, retry, group_free)
                 for req_id, ems in emissions.items():
                     if req_id in fed_back:
                         continue
@@ -373,9 +413,12 @@ class MsmProofServer:
                     if follow_up is not None:
                         submit(follow_up)
 
-        timeline = self._resolve(tasks, emissions, faults, retry, group_free)
+        timeline = self._resolve(
+            tasks, emissions, faults, retry, group_free, quarantined
+        )
         return self._finish(
-            submitted, emissions, results, admission, batcher, timeline, faults, trace
+            submitted, emissions, results, admission, batcher, timeline, faults,
+            quarantined, trace,
         )
 
     # -- emission and fault recovery -----------------------------------------
@@ -438,16 +481,31 @@ class MsmProofServer:
         faults: FaultPlan | None,
         retry: RetryPolicy,
         group_free: dict[int, float],
+        quarantined: dict[int, float],
     ) -> Timeline:
         """Simulate the shared timeline; under faults, re-plan until every
-        emitted request's reduce has completed.
+        emitted request's reduce has completed and passed verification.
 
         A lost attempt (GPU death before its transfer landed, or a
         permanent transfer error) is re-emitted after the failure's
         detection tick on the request's group shrunk to its survivors —
         or, if the whole group died, on the least-loaded surviving group
         — re-planned at the survivors' capacity through the plan cache.
+
+        With chunk verification on, an attempt that ran on a Byzantine
+        GPU cheating in that attempt is *rejected* the moment its reduce
+        completes (verify-on-receive: detection is host-side, no
+        heartbeat tick), the cheater lands in ``quarantined``, and the
+        attempt is re-emitted exactly like a lost one — but only onto
+        GPUs that are both alive and trusted.  The verdict itself is
+        modelled from the plan's ground truth (like the engine's analytic
+        path); the chunk-level 2G2T algebra is exercised by
+        :meth:`repro.core.distmsm.DistMsm.execute`.
         """
+        byz = faults.byzantine_workers() if faults is not None else {}
+        verify_on = self.config.verify_chunks is True or (
+            self.config.verify_chunks == "auto" and bool(byz)
+        )
         max_rounds = (len(faults.events) if faults is not None else 0) + (
             self.system.num_gpus + 2
         )
@@ -456,36 +514,49 @@ class MsmProofServer:
             timeline = simulate(tasks, faults=faults, retry=retry)
             if faults is None:
                 return timeline
-            lost = [
-                ems[-1]
-                for ems in emissions.values()
-                if ems[-1].names["reduce"] not in timeline.spans
-            ]
-            if not lost:
+            pending: list[tuple[_Emission, float]] = []
+            for ems in emissions.values():
+                last = ems[-1]
+                span = timeline.spans.get(last.names["reduce"])
+                if span is None:
+                    fail_at = max(
+                        (
+                            f.at_ms
+                            for name in (
+                                *last.names["gpu"],
+                                last.names["xfer"],
+                                last.names["reduce"],
+                            )
+                            for f in (timeline.failure_for(name),)
+                            if f is not None
+                        ),
+                        default=last.admit_ms,
+                    )
+                    pending.append(
+                        (last, detection_time_ms(fail_at, self.config.heartbeat_ms))
+                    )
+                elif verify_on and any(
+                    g in byz and byz[g].cheats_in_round(last.attempt)
+                    for g in last.gpu_indices
+                ):
+                    for g in last.gpu_indices:
+                        if g in byz and byz[g].cheats_in_round(last.attempt):
+                            quarantined.setdefault(g, span.end_ms)
+                    pending.append((last, span.end_ms))
+            if not pending:
                 return timeline
-            for emission in sorted(lost, key=lambda e: e.request.req_id):
-                fail_at = max(
-                    (
-                        f.at_ms
-                        for name in (
-                            *emission.names["gpu"],
-                            emission.names["xfer"],
-                            emission.names["reduce"],
-                        )
-                        for f in (timeline.failure_for(name),)
-                        if f is not None
-                    ),
-                    default=emission.admit_ms,
-                )
-                detect = detection_time_ms(fail_at, self.config.heartbeat_ms)
-                dead = self._known_dead(faults, detect)
+            for emission, detect in sorted(
+                pending, key=lambda p: p[0].request.req_id
+            ):
+                dead = self._known_dead(faults, detect) | set(quarantined)
                 members = self._surviving_members(emission.group, dead)
                 group = emission.group
                 if not members:
                     live = self._live_groups(dead)
                     if not live:
                         raise FaultRecoveryError(
-                            "every GPU died before serving completed"
+                            "no trusted GPU left to serve on: every GPU is "
+                            "dead or quarantined"
                         )
                     group = min(live, key=lambda g: (group_free[g], g))
                     members = self._surviving_members(group, dead)
@@ -537,6 +608,7 @@ class MsmProofServer:
         batcher: ContinuousBatcher,
         timeline: Timeline,
         faults: FaultPlan | None,
+        quarantined: dict[int, float],
         trace: "Tracer | None" = None,
     ) -> ServeResult:
         records: list[RequestRecord] = []
@@ -580,6 +652,8 @@ class MsmProofServer:
         )
         if trace is not None and trace.enabled:
             self._record_trace(trace, records, admission.shed, timeline)
+            if quarantined:
+                trace.annotate(quarantined_gpus=sorted(quarantined))
         return ServeResult(
             requests=submitted,
             records=records,
@@ -589,6 +663,7 @@ class MsmProofServer:
             metrics=metrics,
             faults=faults,
             emissions=emissions,
+            quarantined=dict(quarantined),
         )
 
     def _record_trace(

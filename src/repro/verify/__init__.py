@@ -18,6 +18,10 @@ produced them.  Three checkers:
 * :mod:`repro.verify.faultcheck` — recovered chaos timelines: no
   post-mortem scheduling on dead resources, exponential-backoff spacing
   of transfer retries, honest makespan accounting;
+* :mod:`repro.verify.integritycheck` — Byzantine audit trails: every plan
+  slot consumed exactly once from a delivered, *accepted* execution, no
+  value-changing forgery accepted, quarantine discipline, and the host
+  accumulation gated behind the consumed chunks' response checks;
 * :mod:`repro.verify.observecheck` — traces: well-formed nesting, one
   span per executed task, busy-time and makespan agreement with the
   timeline, phase-serial stage tiling;
@@ -34,6 +38,7 @@ each checker can actually fail.
 from repro.verify.driver import (
     verify_all,
     verify_bucket_sum,
+    verify_byzantine,
     verify_fault_recovery,
     verify_kernel_schedules,
     verify_observability,
@@ -43,6 +48,7 @@ from repro.verify.driver import (
 )
 from repro.verify.faultcheck import FaultCheckResult, verify_fault_timeline
 from repro.verify.fixtures import FIXTURES, run_fixture
+from repro.verify.integritycheck import IntegrityCheckResult, verify_msm_integrity
 from repro.verify.observecheck import (
     ObserveCheckResult,
     verify_trace,
@@ -73,6 +79,7 @@ from repro.verify.staticcheck import StaticCheckResult, check_findings
 __all__ = [
     "FIXTURES",
     "FaultCheckResult",
+    "IntegrityCheckResult",
     "LiveInterval",
     "ObserveCheckResult",
     "RaceCheckResult",
@@ -92,9 +99,11 @@ __all__ = [
     "trace_naive_scatter",
     "verify_all",
     "verify_bucket_sum",
+    "verify_byzantine",
     "verify_fault_recovery",
     "verify_fault_timeline",
     "verify_kernel_schedules",
+    "verify_msm_integrity",
     "verify_observability",
     "verify_scatter_config",
     "verify_schedule",

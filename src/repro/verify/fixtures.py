@@ -44,6 +44,11 @@ checker rejects it with a diagnostic naming the offending op or address.
   deadlock under strict in-order CUDA streams even though the
   readiness-FIFO simulator would happily reorder around them (a batcher
   submitting out of topological order).
+* ``forged-result`` — a Byzantine execution whose audit trail was doctored
+  to launder the cheater's chunk: the rejected verdict rewritten to
+  ``accepted`` and the consumed-slot map pointed at the forged delivery
+  (an orchestrator consuming results before their response checks — or a
+  cheating dispatcher — would produce exactly this).
 """
 
 from __future__ import annotations
@@ -367,6 +372,60 @@ def broken_plan_check() -> "StaticCheckResult":
     )
 
 
+def broken_integrity_check() -> "IntegrityCheckResult":
+    """A Byzantine execution whose audit trail launders the forgery.
+
+    Runs a real toy-curve execution with one wrong-result cheater — the
+    response check rejects the forged chunk and quarantines the GPU —
+    then doctors the attached report the way a broken (or dishonest)
+    orchestrator would: the rejected verdict becomes ``accepted`` and the
+    consumed-slot map is rewritten to consume the cheater's delivery.
+    The integrity checker must refuse the laundered trail.
+    """
+    from dataclasses import replace
+
+    from repro.core.config import DistMsmConfig
+    from repro.core.distmsm import DistMsm
+    from repro.curves.sampling import msm_instance
+    from repro.curves.toy import toy_curve
+    from repro.engine.faults import ByzantineWorker
+    from repro.faults.byzantine import VERDICT_ACCEPTED, VERDICT_REJECTED
+    from repro.gpu.cluster import MultiGpuSystem
+    from repro.verify.integritycheck import IntegrityCheckResult, verify_msm_integrity
+
+    toy = toy_curve()
+    scalars, points = msm_instance(toy, 32, seed=41)
+    engine = DistMsm(
+        MultiGpuSystem(4),
+        DistMsmConfig(window_size=4, threads_per_block=32, points_per_thread=4),
+    )
+    honest = engine.execute(scalars, points, toy,
+                            faults=FaultPlan.of(ByzantineWorker(1, seed=5)))
+    report = honest.byzantine_report
+    assert report is not None and report.caught
+    forged = next(c for c in report.chunks if c.verdict == VERDICT_REJECTED)
+    # the laundering: accept the forgery, consume it, forget the quarantine
+    doctored = replace(
+        report,
+        chunks=tuple(
+            replace(c, verdict=VERDICT_ACCEPTED, verified_at_ms=0.0)
+            if c is forged else c
+            for c in report.chunks
+        ),
+        consumed=tuple(
+            (slot, forged.round, forged.gpu) if slot in forged.slots
+            else (slot, rnd, gpu)
+            for slot, rnd, gpu in report.consumed
+        ),
+        quarantined=(),
+        rejected=0,
+    )
+    laundered = replace(honest, byzantine_report=doctored)
+    return verify_msm_integrity(
+        laundered, subject="Byzantine run (laundered audit trail)"
+    )
+
+
 #: fixture name -> callable returning a checker result that must FAIL
 FIXTURES = {
     "register-peak": broken_schedule_check,
@@ -381,6 +440,7 @@ FIXTURES = {
     "unit-mixing": broken_units_check,
     "interval-overflow": broken_interval_check,
     "plan-deadlock": broken_plan_check,
+    "forged-result": broken_integrity_check,
 }
 
 

@@ -1,0 +1,239 @@
+"""End-to-end integrity audit of Byzantine-aware MSM executions (DESIGN.md §14).
+
+The orchestrator's claim after a verified run is strong: *no unverified or
+rejected chunk result reached the returned point*.  This checker replays
+the audit trail it attaches to the result — the
+:class:`~repro.faults.byzantine.ByzantineReport` with its per-chunk
+verdicts, quarantine decisions, and consumed-slot map — against the plan
+and the recovered timeline, and proves the claim by conservation of
+verified mass:
+
+* **complete coverage** — the consumed map assigns every plan slot to
+  exactly one delivered execution (no slot missing, none double-counted:
+  every accumulation layer is linear in the chunk values, so one
+  consumed execution per slot *is* the final point);
+* **only verified mass** — every consumed execution's verdict is
+  ``accepted`` (or ``unverified``, iff the report honestly declares
+  verification was off); ``rejected`` and ``lost`` chunks never appear;
+* **soundness honoured** — with verification on, no chunk whose forgery
+  changed its value carries an ``accepted`` verdict (the response check
+  must have caught it);
+* **quarantine discipline** — every rejected chunk's GPU is quarantined,
+  and nothing is dispatched to a quarantined GPU after its quarantine
+  instant (results verified *before* the quarantine may stand: trust
+  comes from the math, not the worker);
+* **verify-before-consume** — on the timeline, the host accumulation
+  (``msm:host-reduce``) starts no earlier than the response check of any
+  consumed chunk completes;
+* **honest bookkeeping** — the report's ``rejected`` counter matches its
+  own verdicts, and an unverified run claims no accept/reject verdicts.
+
+Violations use the shared :class:`~repro.verify.report.Violation` record
+with ``checker="integrity"``; ``op`` carries ``r{round}:g{gpu}`` of the
+offending chunk, ``address`` the slot when one is at fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.timeline import TIME_EPS, Timeline
+from repro.faults.byzantine import (
+    VERDICT_ACCEPTED,
+    VERDICT_LOST,
+    VERDICT_REJECTED,
+    VERDICT_UNVERIFIED,
+    ByzantineReport,
+)
+from repro.verify.report import Violation
+
+__all__ = ["IntegrityCheckResult", "verify_msm_integrity"]
+
+#: the host accumulation task gated on the consumed chunks' checks
+_HOST_REDUCE = "msm:host-reduce"
+
+
+@dataclass
+class IntegrityCheckResult:
+    """Outcome of auditing one Byzantine-aware execution."""
+
+    subject: str
+    chunks: int = 0
+    consumed: int = 0
+    rejected: int = 0
+    quarantined: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def _add(self, message: str, op: str | None = None, address: str | None = None):
+        self.violations.append(
+            Violation("integrity", self.subject, message, op=op, address=address)
+        )
+
+
+def verify_msm_integrity(
+    result,
+    subject: str = "msm-integrity",
+    eps: float = TIME_EPS,
+) -> IntegrityCheckResult:
+    """Audit a :class:`~repro.core.distmsm.DistMsmResult`'s integrity trail.
+
+    ``result`` must carry a ``byzantine_report`` (any verified or
+    Byzantine-faulted execution does); its ``plan`` supplies the slot
+    universe and its ``timeline`` the verify-before-consume ordering.
+    A result without a report fails the audit — there is nothing to
+    trust an execution on.
+    """
+    report: ByzantineReport | None = getattr(result, "byzantine_report", None)
+    checked = IntegrityCheckResult(subject)
+    if report is None:
+        checked._add(
+            "execution carries no ByzantineReport — nothing proves the "
+            "result consumed only verified chunks"
+        )
+        return checked
+    timeline: Timeline | None = getattr(result, "timeline", None)
+    plan = getattr(result, "plan", None)
+
+    checked.chunks = len(report.chunks)
+    checked.consumed = len(report.consumed)
+    checked.rejected = sum(
+        1 for c in report.chunks if c.verdict == VERDICT_REJECTED
+    )
+    checked.quarantined = len(report.quarantined)
+    outcomes = {(c.round, c.gpu): c for c in report.chunks}
+    quarantine_at = dict(report.quarantined)
+
+    # 1. complete coverage: every plan slot consumed exactly once
+    if plan is not None:
+        universe = set(range(len(plan.assignments)))
+    else:
+        universe = {s for c in report.chunks for s in c.slots}
+    seen: dict[int, tuple[int, int]] = {}
+    for slot, rnd, gpu in report.consumed:
+        if slot in seen:
+            checked._add(
+                f"slot consumed twice (r{seen[slot][0]}:g{seen[slot][1]} "
+                f"and r{rnd}:g{gpu}) — double-counted mass",
+                op=f"r{rnd}:g{gpu}",
+                address=f"slot:{slot}",
+            )
+        seen[slot] = (rnd, gpu)
+        if slot not in universe:
+            checked._add(
+                "consumed slot does not exist in the plan",
+                op=f"r{rnd}:g{gpu}",
+                address=f"slot:{slot}",
+            )
+    for slot in sorted(universe - set(seen)):
+        checked._add(
+            "plan slot never consumed — the returned point is missing mass",
+            address=f"slot:{slot}",
+        )
+
+    # 2. only verified mass reaches the accumulation
+    for slot, rnd, gpu in report.consumed:
+        outcome = outcomes.get((rnd, gpu))
+        op = f"r{rnd}:g{gpu}"
+        if outcome is None:
+            checked._add(
+                "consumed execution has no recorded chunk outcome",
+                op=op, address=f"slot:{slot}",
+            )
+            continue
+        if slot not in outcome.slots:
+            checked._add(
+                f"consumed slot was never assigned to this chunk "
+                f"(its slots: {list(outcome.slots)})",
+                op=op, address=f"slot:{slot}",
+            )
+        if not outcome.delivered:
+            checked._add(
+                "consumed chunk was never delivered",
+                op=op, address=f"slot:{slot}",
+            )
+        if outcome.verdict in (VERDICT_REJECTED, VERDICT_LOST):
+            checked._add(
+                f"consumed chunk's verdict is {outcome.verdict!r} — "
+                "rejected/lost results must never reach the point",
+                op=op, address=f"slot:{slot}",
+            )
+        elif report.verified and outcome.verdict != VERDICT_ACCEPTED:
+            checked._add(
+                f"verified run consumed a chunk with verdict "
+                f"{outcome.verdict!r} instead of {VERDICT_ACCEPTED!r}",
+                op=op, address=f"slot:{slot}",
+            )
+
+    # 3. soundness honoured: a value-changing forgery cannot be accepted
+    if report.verified:
+        for c in report.chunks:
+            if c.corrupted and c.verdict == VERDICT_ACCEPTED:
+                checked._add(
+                    "value-changing forgery passed the response check — "
+                    "soundness failure",
+                    op=f"r{c.round}:g{c.gpu}",
+                )
+
+    # 4. quarantine discipline
+    for c in report.chunks:
+        op = f"r{c.round}:g{c.gpu}"
+        if c.verdict == VERDICT_REJECTED and c.gpu not in quarantine_at:
+            checked._add(
+                "chunk was rejected but its GPU was never quarantined", op=op
+            )
+        at = quarantine_at.get(c.gpu)
+        if at is not None and c.dispatched_at_ms > at + eps:
+            checked._add(
+                f"chunk dispatched at {c.dispatched_at_ms} on a GPU "
+                f"quarantined at {at}",
+                op=op,
+            )
+
+    # 5. verify-before-consume on the timeline
+    if report.verified and timeline is not None:
+        reduce_span = timeline.spans.get(_HOST_REDUCE)
+        if reduce_span is None:
+            checked._add(
+                "verified run's timeline has no host-reduce span to gate on",
+                op=_HOST_REDUCE,
+            )
+        else:
+            for slot, rnd, gpu in report.consumed:
+                outcome = outcomes.get((rnd, gpu))
+                if outcome is None or outcome.verified_at_ms < 0:
+                    continue
+                if reduce_span.start_ms < outcome.verified_at_ms - eps:
+                    checked._add(
+                        f"host-reduce starts at {reduce_span.start_ms}, before "
+                        f"the consumed chunk's check completes at "
+                        f"{outcome.verified_at_ms}",
+                        op=f"r{rnd}:g{gpu}",
+                        address=f"slot:{slot}",
+                    )
+
+    # 6. honest bookkeeping inside the report itself
+    if report.rejected != checked.rejected:
+        checked._add(
+            f"report claims {report.rejected} rejected chunk(s) but records "
+            f"{checked.rejected} rejected verdict(s)"
+        )
+    if not report.verified:
+        for c in report.chunks:
+            if c.verdict in (VERDICT_ACCEPTED, VERDICT_REJECTED):
+                checked._add(
+                    f"unverified run claims verdict {c.verdict!r} — without "
+                    "checks there is nothing to accept or reject",
+                    op=f"r{c.round}:g{c.gpu}",
+                )
+    for c in report.chunks:
+        if not c.delivered and c.verdict != VERDICT_LOST:
+            checked._add(
+                f"undelivered chunk carries verdict {c.verdict!r} "
+                f"instead of {VERDICT_LOST!r}",
+                op=f"r{c.round}:g{c.gpu}",
+            )
+    return checked

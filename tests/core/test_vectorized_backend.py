@@ -135,6 +135,58 @@ class TestExecuteParity:
         assert plain.time_ms == traced.time_ms
 
 
+class TestFaultParity:
+    """Fault injection through the vectorized path: same points, same plans."""
+
+    @pytest.mark.parametrize("gpu", [0, 1])
+    @pytest.mark.parametrize("at", [0.0, 0.02])
+    def test_kill_sweep_matches_scalar_path(self, gpu, at):
+        from repro.engine.faults import FaultPlan, GpuFailure
+
+        scalars, points = msm_instance(TOY_CURVE, 64, seed=3)
+        scalar_engine, vector_engine = _engines(TOY_CURVE, 6)
+        expected = scalar_engine.execute(scalars, points, TOY_CURVE).point
+        plan = FaultPlan.of(GpuFailure(at, gpu))
+        res_s = scalar_engine.execute(scalars, points, TOY_CURVE, faults=plan)
+        res_v = vector_engine.execute(scalars, points, TOY_CURVE, faults=plan)
+        assert res_s.point == expected
+        assert res_v.point == expected
+        assert res_s.time_ms == res_v.time_ms
+        assert res_s.timeline.spans == res_v.timeline.spans
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_chaos_sweep_matches_scalar_path(self, seed):
+        from repro.faults import random_fault_plan
+
+        scalars, points = msm_instance(TOY_CURVE, 64, seed=7)
+        scalar_engine, vector_engine = _engines(TOY_CURVE, 6)
+        horizon = max(scalar_engine.execute(scalars, points, TOY_CURVE).time_ms, 0.05)
+        plan = random_fault_plan(
+            seed, 2, horizon, max_gpu_failures=1, byzantine_probability=0.5
+        )
+        res_s = scalar_engine.execute(scalars, points, TOY_CURVE, faults=plan)
+        res_v = vector_engine.execute(scalars, points, TOY_CURVE, faults=plan)
+        assert res_s.point == res_v.point
+        assert res_s.time_ms == res_v.time_ms
+        assert len(res_s.timeline.attempts) == len(res_v.timeline.attempts)
+
+    def test_byzantine_cheater_caught_identically(self):
+        from repro.engine.faults import ByzantineWorker, FaultPlan
+
+        scalars, points = msm_instance(TOY_CURVE, 64, seed=3)
+        scalar_engine, vector_engine = _engines(TOY_CURVE, 6)
+        expected = scalar_engine.execute(scalars, points, TOY_CURVE).point
+        plan = FaultPlan.of(ByzantineWorker(0, mode="wrong-result", seed=5))
+        res_s = scalar_engine.execute(scalars, points, TOY_CURVE, faults=plan)
+        res_v = vector_engine.execute(scalars, points, TOY_CURVE, faults=plan)
+        assert res_s.point == expected and res_v.point == expected
+        assert res_s.byzantine_report.caught
+        assert res_v.byzantine_report.caught
+        assert (
+            res_s.byzantine_report.to_json() == res_v.byzantine_report.to_json()
+        )
+
+
 class TestAutoRouting:
     def _backend(self, curve, vectorized):
         system = MultiGpuSystem(num_gpus=1)

@@ -1,0 +1,167 @@
+"""2G2T verifiable outsourcing: challenge, response, and batch algebra."""
+
+import math
+
+import pytest
+
+from repro.curves.point import XyzzPoint, pmul, to_affine, xyzz_add
+from repro.curves.sampling import sample_points
+from repro.msm.outsource import (
+    RHO_BITS,
+    Challenge,
+    batch_verify,
+    chunk_value,
+    make_response,
+    mask_point,
+    mask_scalar,
+    response_padds,
+    rho_coeff,
+    sample_challenge,
+    soundness_bits,
+    verify_chunk,
+    verify_padds,
+)
+
+from tests.conftest import TOY_CURVE
+
+
+def _partials(seed=3, slots=2, buckets=8):
+    """Bucket partials as a worker would deliver: slots x buckets points."""
+    points = sample_points(TOY_CURVE, slots * buckets, seed=seed)
+    return [
+        [XyzzPoint.from_affine(points[s * buckets + b]) for b in range(buckets)]
+        for s in range(slots)
+    ]
+
+
+class TestChallenge:
+    def test_deterministic_in_seed_and_curve(self):
+        assert sample_challenge(TOY_CURVE, 7) == sample_challenge(TOY_CURVE, 7)
+        assert sample_challenge(TOY_CURVE, 7) != sample_challenge(TOY_CURVE, 8)
+
+    def test_challenge_is_a_unit_mod_group_order(self):
+        # the toy curve's order is composite: soundness on it *requires*
+        # gcd(c, r) == 1, or a forgery of small order d | c would pass
+        for seed in range(50):
+            c = sample_challenge(TOY_CURVE, seed).c
+            assert 1 <= c < TOY_CURVE.r
+            assert math.gcd(c, TOY_CURVE.r) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Challenge(seed=0, c=0)
+        with pytest.raises(ValueError):
+            Challenge(seed=0, c=3, rho_bits=0)
+
+    def test_soundness_bits(self):
+        assert soundness_bits(TOY_CURVE) == TOY_CURVE.r.bit_length() - 1
+
+    def test_masks_and_rhos_replayable_from_seed(self):
+        ch = sample_challenge(TOY_CURVE, 11)
+        assert mask_scalar(ch, 0, 1, TOY_CURVE) == mask_scalar(ch, 0, 1, TOY_CURVE)
+        assert mask_scalar(ch, 0, 1, TOY_CURVE) != mask_scalar(ch, 1, 1, TOY_CURVE)
+        assert 1 <= rho_coeff(ch, 0, 2) < (1 << RHO_BITS)
+        assert rho_coeff(ch, 0, 2) == rho_coeff(ch, 0, 2)
+
+
+class TestChunkValue:
+    def test_matches_weighted_bucket_sum(self):
+        # V must be sum_{b>=1} b * B_b — the functional the host's
+        # bucket-reduce consumes
+        partials = _partials()
+        expected = XyzzPoint.identity()
+        for sums in partials:
+            for b in range(1, len(sums)):
+                term = pmul(to_affine(sums[b], TOY_CURVE), b, TOY_CURVE)
+                expected = xyzz_add(
+                    expected, XyzzPoint.from_affine(term), TOY_CURVE
+                )
+        got = chunk_value(partials, TOY_CURVE)
+        assert to_affine(got, TOY_CURVE) == to_affine(expected, TOY_CURVE)
+
+    def test_bucket_zero_has_no_weight(self):
+        partials = _partials(slots=1)
+        tampered = [list(partials[0])]
+        tampered[0][0] = XyzzPoint.identity()
+        assert to_affine(chunk_value(partials, TOY_CURVE), TOY_CURVE) == to_affine(
+            chunk_value(tampered, TOY_CURVE), TOY_CURVE
+        )
+
+
+class TestResponseCheck:
+    def test_honest_response_accepted(self):
+        ch = sample_challenge(TOY_CURVE, 5)
+        value = chunk_value(_partials(), TOY_CURVE)
+        resp = make_response(ch, value, 0, 2, TOY_CURVE)
+        assert verify_chunk(ch, value, resp, 0, 2, TOY_CURVE)
+
+    def test_response_bound_to_chunk_coordinates(self):
+        # the mask differs per (round, gpu): replaying another chunk's
+        # honest response must fail
+        ch = sample_challenge(TOY_CURVE, 5)
+        value = chunk_value(_partials(), TOY_CURVE)
+        resp = make_response(ch, value, 0, 2, TOY_CURVE)
+        assert not verify_chunk(ch, value, resp, 0, 3, TOY_CURVE)
+        assert not verify_chunk(ch, value, resp, 1, 2, TOY_CURVE)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_forged_value_rejected(self, seed):
+        ch = sample_challenge(TOY_CURVE, seed)
+        honest = _partials(seed=seed + 1)
+        value = chunk_value(honest, TOY_CURVE)
+        resp = make_response(ch, value, 0, 0, TOY_CURVE)
+        forged = [list(s) for s in honest]
+        forged[0][3] = xyzz_add(forged[0][3], forged[0][4], TOY_CURVE)
+        forged_value = chunk_value(forged, TOY_CURVE)
+        if to_affine(forged_value, TOY_CURVE) == to_affine(value, TOY_CURVE):
+            pytest.skip("corruption happened to preserve the value")
+        assert not verify_chunk(ch, forged_value, resp, 0, 0, TOY_CURVE)
+
+
+class TestBatchVerify:
+    def _items(self, ch, count=4):
+        items = []
+        for i in range(count):
+            value = chunk_value(_partials(seed=20 + i), TOY_CURVE)
+            items.append(
+                (0, i, value, make_response(ch, value, 0, i, TOY_CURVE))
+            )
+        return items
+
+    def test_honest_batch_accepted(self):
+        ch = sample_challenge(TOY_CURVE, 9)
+        assert batch_verify(ch, self._items(ch), TOY_CURVE)
+
+    def test_empty_batch_trivially_accepted(self):
+        assert batch_verify(sample_challenge(TOY_CURVE, 9), [], TOY_CURVE)
+
+    def test_one_forged_item_fails_the_whole_batch(self):
+        ch = sample_challenge(TOY_CURVE, 9)
+        items = self._items(ch)
+        rnd, gpu, value, resp = items[2]
+        # shift chunk 2's value by the (full-order) generator: the RLC
+        # difference rho_2 * c * G cannot vanish for a 16-bit rho on the
+        # toy group, so the batch must fail and the per-chunk fallback
+        # must localise exactly the forged item
+        from repro.curves.point import AffinePoint
+
+        g = XyzzPoint.from_affine(AffinePoint(TOY_CURVE.gx, TOY_CURVE.gy))
+        items[2] = (rnd, gpu, xyzz_add(value, g, TOY_CURVE), resp)
+        assert not batch_verify(ch, items, TOY_CURVE)
+        verdicts = [
+            verify_chunk(ch, v, r, rd, gp, TOY_CURVE)
+            for rd, gp, v, r in items
+        ]
+        assert verdicts == [True, True, False, True]
+
+
+class TestCostModel:
+    def test_response_cost_scales_with_scalar_bits(self):
+        assert response_padds(256) > response_padds(10) > 0
+
+    def test_batched_check_cheaper_than_individual(self):
+        batched = verify_padds(64, 256, batched=True)
+        single = verify_padds(64, 256, batched=False)
+        assert batched < single
+        # the bucket fold is charged either way
+        assert batched > 2 * 64

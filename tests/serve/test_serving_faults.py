@@ -6,7 +6,7 @@ from repro.core.config import DistMsmConfig
 from repro.curves.params import curve_by_name
 from repro.curves.sampling import msm_instance
 from repro.curves.toy import toy_curve
-from repro.engine.faults import FaultPlan, GpuFailure
+from repro.engine.faults import ByzantineWorker, FaultPlan, GpuFailure
 from repro.faults.recovery import FaultRecoveryError
 from repro.gpu.cluster import MultiGpuSystem
 from repro.msm.naive import naive_msm
@@ -152,3 +152,112 @@ class TestGroupDeathAndMigration:
         assert len(result.records) == 12
         late = [b for b in result.batches if b.formed_ms > 1.0]
         assert late and max(b.size for b in late) <= 2
+
+
+class TestByzantineServing:
+    """Cheating workers under the serving loop: quarantine, retry, shed."""
+
+    def test_cheater_quarantined_results_stay_bit_exact(self):
+        toy = toy_curve()
+        requests, expected = _payload_trace(toy)
+        result = _serve(
+            requests, faults=FaultPlan.of(ByzantineWorker(1, seed=5))
+        )
+        assert 1 in result.quarantined
+        assert result.metrics.retried_requests > 0
+        assert result.shed == []
+        assert len(result.records) == len(requests)
+        for record in result.records:
+            assert record.result == expected[record.req_id]
+
+    def test_audits_pass_with_a_cheater(self):
+        toy = toy_curve()
+        requests, _ = _payload_trace(toy)
+        result = _serve(
+            requests, faults=FaultPlan.of(ByzantineWorker(1, seed=5))
+        )
+        checked = verify_serving(
+            result.requests, result.records, result.shed, result.timeline
+        )
+        assert checked.ok, [str(v) for v in checked.violations]
+        tchecked = verify_timeline(result.timeline, faults=result.faults)
+        assert tchecked.ok, [str(v) for v in tchecked.violations]
+
+    def test_no_span_on_quarantined_gpu_after_quarantine(self):
+        toy = toy_curve()
+        requests, _ = _payload_trace(toy)
+        result = _serve(
+            requests, faults=FaultPlan.of(ByzantineWorker(1, seed=5))
+        )
+        at = result.quarantined[1]
+        for span in result.timeline.spans.values():
+            if span.resource.name == "gpu1":
+                assert span.start_ms <= at + 1e-9
+
+    def test_all_cheating_sheds_untrusted_capacity(self):
+        from repro.serve.admission import SHED_UNTRUSTED
+
+        toy = toy_curve()
+        requests, _ = _payload_trace(toy, count=6)
+        faults = FaultPlan.of(*(ByzantineWorker(g, seed=g) for g in range(4)))
+        result = _serve(requests, faults=faults)
+        assert result.records == []
+        assert len(result.shed) == len(requests)
+        assert {s.reason for s in result.shed} == {SHED_UNTRUSTED}
+
+    def test_verification_disabled_means_no_quarantine(self):
+        toy = toy_curve()
+        requests, _ = _payload_trace(toy, count=6)
+        server = MsmProofServer(
+            MultiGpuSystem(4),
+            DistMsmConfig(
+                window_size=4,
+                threads_per_block=32,
+                points_per_thread=4,
+                verify_chunks=False,
+            ),
+            ServeConfig(gpu_groups=2, max_batch_size=4, max_wait_ms=0.5),
+        )
+        result = server.serve(
+            requests, faults=FaultPlan.of(ByzantineWorker(1, seed=5))
+        )
+        assert result.quarantined == {}
+        assert result.metrics.retried_requests == 0
+
+    def test_round_restricted_cheater_quarantined_after_first_forgery(self):
+        toy = toy_curve()
+        requests, expected = _payload_trace(toy)
+        result = _serve(
+            requests, faults=FaultPlan.of(ByzantineWorker(0, round=0, seed=7))
+        )
+        assert 0 in result.quarantined
+        assert len(result.records) == len(requests)
+        for record in result.records:
+            assert record.result == expected[record.req_id]
+
+    def test_death_and_cheater_together(self):
+        toy = toy_curve()
+        requests, expected = _payload_trace(toy)
+        faults = FaultPlan.of(GpuFailure(1.0, 3), ByzantineWorker(0, seed=5))
+        result = _serve(requests, faults=faults)
+        assert 0 in result.quarantined
+        assert len(result.records) == len(requests)
+        for record in result.records:
+            assert record.result == expected[record.req_id]
+        checked = verify_serving(
+            result.requests, result.records, result.shed, result.timeline
+        )
+        assert checked.ok, [str(v) for v in checked.violations]
+
+    def test_deterministic_replay(self):
+        toy = toy_curve()
+        requests, _ = _payload_trace(toy, count=6)
+        faults = FaultPlan.of(ByzantineWorker(1, seed=9))
+        a = _serve(requests, faults=faults)
+        b = _serve(requests, faults=faults)
+        assert a.quarantined == b.quarantined
+        assert a.metrics.makespan_ms == b.metrics.makespan_ms
+        assert [r.total_ms for r in a.records] == [
+            r.total_ms for r in b.records
+        ]
+
