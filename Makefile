@@ -11,9 +11,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: ci lint typecheck analyze verify bench-smoke bench-compare chaos-smoke byzantine-smoke serve-smoke trace-smoke test
+.PHONY: ci lint typecheck analyze verify bench-smoke bench-compare chaos-smoke byzantine-smoke serve-smoke cluster-smoke trace-smoke test
 
-ci: lint typecheck analyze verify bench-smoke byzantine-smoke bench-compare chaos-smoke serve-smoke trace-smoke test
+ci: lint typecheck analyze verify bench-smoke byzantine-smoke chaos-smoke serve-smoke cluster-smoke trace-smoke bench-compare test
 	@echo "ci: all gates passed"
 
 lint:
@@ -63,6 +63,10 @@ byzantine-smoke:
 serve-smoke:
 	@echo "== serving-latency smoke benchmark"
 	@$(PYTHON) benchmarks/bench_serving.py --smoke
+
+cluster-smoke:
+	@echo "== cluster-scaling smoke benchmark"
+	@$(PYTHON) benchmarks/bench_cluster.py --smoke
 
 trace-smoke:
 	@echo "== traced-run smoke benchmark (observe audit)"

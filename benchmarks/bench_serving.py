@@ -9,8 +9,12 @@ throughput.  A functional column rides along: toy-curve requests with
 real payloads served mid-GPU-failure, every response checked bit-exact
 against the naive reference.
 
-Writes the table to ``results/serving_latency.txt``.  Runs under
-pytest-benchmark (``make bench``) and standalone:
+Writes the table to ``results/serving_latency.txt`` (secondary, human
+eyes) and the gated record to ``results/BENCH_serving.json`` — the
+``showdown_p95_speedup`` ratio (serial p95 / batched p95, machine-speed
+free) is regression-gated by ``benchmarks/compare_bench.py`` against
+``benchmarks/baselines/BENCH_serving.json``.  Runs under pytest-benchmark
+(``make bench``) and standalone:
 
     PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
 
@@ -120,6 +124,9 @@ def _showdown(lines: list[str], metrics: dict, count: int) -> None:
     metrics["showdown_serial_p95_ms"] = s.p95_ms
     metrics["showdown_batched_thr_rps"] = b.throughput_rps
     metrics["showdown_serial_thr_rps"] = s.throughput_rps
+    # simulated-time ratio of the two paths in the same process: machine
+    # speed cancels, so compare_bench.py can gate it against the baseline
+    metrics["showdown_p95_speedup"] = s.p95_ms / b.p95_ms
 
 
 def _functional_serving(lines: list[str], metrics: dict, count: int) -> None:
@@ -191,11 +198,26 @@ def check_invariants(metrics: dict) -> None:
     assert metrics["functional_exact"] == metrics["functional_served"], metrics
 
 
+def write_output(text: str, metrics: dict, smoke: bool) -> "pathlib.Path":
+    """Write the human table and the gated JSON record."""
+    import json
+    import pathlib
+
+    results = pathlib.Path(__file__).resolve().parent.parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "serving_latency.txt").write_text(text + "\n")
+    payload = {"bench": "serving", "smoke": smoke, "metrics": metrics}
+    path = results / "BENCH_serving.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def test_serving(benchmark):
     text, metrics = benchmark.pedantic(serving_report, rounds=1, iterations=1)
     from conftest import save_result
 
     save_result("serving_latency", text)
+    write_output(text, metrics, smoke=False)
     check_invariants(metrics)
 
 
@@ -207,19 +229,15 @@ def main(argv: list[str]) -> int:
         print(
             f"serve-smoke: batched p95 "
             f"{metrics['showdown_batched_p95_ms']:.3f} ms < serial "
-            f"{metrics['showdown_serial_p95_ms']:.3f} ms at equal "
+            f"{metrics['showdown_serial_p95_ms']:.3f} ms "
+            f"({metrics['showdown_p95_speedup']:.2f}x) at equal "
             f"throughput; {metrics['functional_exact']}/"
             f"{metrics['functional_served']} functional responses bit-exact"
         )
-    import pathlib
-
-    results = pathlib.Path(__file__).resolve().parent.parent / "results"
-    results.mkdir(exist_ok=True)
-    out = results / "serving_latency.txt"
-    out.write_text(text + "\n")
+    path = write_output(text, metrics, smoke=smoke)
     if not smoke:
         print(text)
-    print(f"[saved to {out}]")
+    print(f"[saved to {path.parent / 'serving_latency.txt'} and {path}]")
     return 0
 
 

@@ -7,6 +7,7 @@ Usage::
     python -m repro fig11 --log-n 24     # Fig. 11 at a custom size
     python -m repro msm --curve BN254 --log-n 20 --gpus 8
     python -m repro trace --curve BN254 --log-n 20 --gpus 4 --out msm.json
+    python -m repro cluster-replay trace.json --nodes 4 --gpus 2
 """
 
 from __future__ import annotations
@@ -68,6 +69,36 @@ def _run_trace(args) -> int:
     return 0
 
 
+def _run_cluster_replay(args) -> int:
+    from repro.cluster import ClusterTrace, ProofCluster, replay
+
+    if not args.path:
+        print(
+            "cluster-replay needs a trace path: "
+            "python -m repro cluster-replay trace.json",
+            file=sys.stderr,
+        )
+        return 2
+    trace = ClusterTrace.load(args.path)
+    nodes = args.nodes or 3
+    cluster = ProofCluster(nodes, gpus_per_node=args.gpus or 2)
+    result = replay(cluster, trace)
+    metrics = result.metrics
+    print(
+        f"trace {trace.name!r} ({trace.curve}, seed {trace.seed}, "
+        f"{len(trace.segments)} segments) on {nodes} nodes x "
+        f"{args.gpus or 2} GPUs:"
+    )
+    print(f"  {metrics.render()}")
+    for tenant, stats in sorted(metrics.per_tenant().items()):
+        print(
+            f"  tenant {tenant:<12s} served {stats['served']:4d}  "
+            f"shed {stats['shed']:3d}  p99 {stats['p99_ms']:9.3f} ms  "
+            f"violations {stats['deadline_violations']}"
+        )
+    return 0
+
+
 def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -77,11 +108,20 @@ def main(argv: list | None = None) -> int:
         "experiment",
         help="one of: list, msm, " + ", ".join(_experiment_runners()),
     )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="workload trace JSON (cluster-replay command)",
+    )
     parser.add_argument("--log-n", type=int, default=None, help="log2 of the MSM size")
     parser.add_argument("--gpus", type=int, default=None, help="simulated GPU count")
     parser.add_argument("--curve", default="BN254", help="curve name (msm command)")
     parser.add_argument(
         "--out", default=None, help="Chrome trace JSON path (trace command)"
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None, help="cluster node count (cluster-replay)"
     )
     args = parser.parse_args(argv)
 
@@ -89,12 +129,15 @@ def main(argv: list | None = None) -> int:
     if args.experiment == "list":
         print("experiments:", ", ".join(sorted(runners)))
         print("utilities:   msm (--curve --log-n --gpus), "
-              "trace (--curve --log-n --gpus --out)")
+              "trace (--curve --log-n --gpus --out), "
+              "cluster-replay <trace.json> (--nodes --gpus)")
         return 0
     if args.experiment == "msm":
         return _run_msm(args)
     if args.experiment == "trace":
         return _run_trace(args)
+    if args.experiment == "cluster-replay":
+        return _run_cluster_replay(args)
     if args.experiment not in runners:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2

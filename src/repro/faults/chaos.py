@@ -41,6 +41,7 @@ def random_fault_plan(
     transfer_error_probability: float = 0.5,
     max_slowdown: float = 4.0,
     byzantine_probability: float = 0.0,
+    node_failure_probability: float = 0.0,
 ) -> FaultPlan:
     """Derive a reproducible fault schedule from ``seed``.
 
@@ -52,6 +53,16 @@ def random_fault_plan(
     some surviving GPUs Byzantine with a random corruption mode (sometimes
     adaptively restricted to one round), always leaving at least one GPU
     alive *and* honest.
+
+    ``node_failure_probability`` models a whole-box fail-stop for the
+    cluster layer (:mod:`repro.cluster`): with that probability, every
+    still-alive GPU of one randomly chosen node dies at the *same* event
+    boundary — which is exactly the all-GPUs-dead signature
+    :func:`repro.cluster.failover.split_fault_plan` detects as a
+    :class:`~repro.cluster.failover.NodeDeath`.  The victim is never the
+    last node with survivors, so the cluster always keeps a live box to
+    fail over to.  All draws for this knob happen after the classic ones,
+    so plans for existing seeds are unchanged when it is 0.
     """
     if num_gpus < 1:
         raise ValueError(f"need at least one GPU, got {num_gpus}")
@@ -61,6 +72,11 @@ def random_fault_plan(
         raise ValueError(
             f"byzantine_probability must be in [0, 1], got {byzantine_probability}"
         )
+    if not 0.0 <= node_failure_probability <= 1.0:
+        raise ValueError(
+            f"node_failure_probability must be in [0, 1], "
+            f"got {node_failure_probability}"
+        )
     rng = random.Random(seed)
     events: list[FaultEvent] = []
 
@@ -69,6 +85,27 @@ def random_fault_plan(
     victims = set(rng.sample(range(num_gpus), n_kills))
     for gpu_id in sorted(victims):
         events.append(GpuFailure(round(rng.uniform(0.0, horizon_ms), 6), gpu_id))
+
+    if node_failure_probability > 0.0 and rng.random() < node_failure_probability:
+        members = {
+            node: [
+                g
+                for g in range(node * gpus_per_node, min((node + 1) * gpus_per_node, num_gpus))
+            ]
+            for node in range(-(-num_gpus // gpus_per_node))
+        }
+        live_nodes = [
+            node
+            for node in sorted(members)
+            if any(g not in victims for g in members[node])
+        ]
+        if len(live_nodes) >= 2:
+            doomed = rng.choice(live_nodes)
+            at_ms = round(rng.uniform(0.0, horizon_ms), 6)
+            for gpu_id in members[doomed]:
+                if gpu_id not in victims:
+                    victims.add(gpu_id)
+                    events.append(GpuFailure(at_ms, gpu_id))
 
     slowed: set[int] = set()
     for gpu_id in range(num_gpus):

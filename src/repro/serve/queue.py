@@ -65,6 +65,9 @@ class ProofRequest:
     payload: MsmPayload | None = None
     #: closed-loop bookkeeping: which client issued the request (-1 = open)
     client: int = -1
+    #: multi-tenant serving (repro.cluster): which tenant submitted the
+    #: request ("" = untenanted single-server workloads)
+    tenant: str = ""
 
     def __post_init__(self) -> None:
         if self.n <= 0:

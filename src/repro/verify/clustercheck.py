@@ -1,0 +1,259 @@
+"""Independent audit of cluster runs (:class:`repro.cluster.router.ClusterResult`).
+
+The cluster router *claims* a distribution story — every request routed
+to exactly one node, shed work never executing anywhere, lost work
+re-routed exactly once after a death — and this checker replays those
+claims against the finished artifacts, trusting nothing the router said
+about itself:
+
+* **per-node honesty** — every node's :class:`~repro.serve.server.ServeResult`
+  passes the full serving audit (:func:`repro.verify.servecheck.verify_serving`);
+* **single-serve** — no request appears in two nodes' record sets (the
+  distributed analogue of exactly-once);
+* **cluster conservation** — records and cluster-level shed events
+  partition the submitted requests, per cluster and per tenant;
+* **shed never executes** — a request shed at the router owns no task on
+  *any* node's timeline;
+* **dispatch causality** — no dispatch precedes its request's cluster
+  arrival, and each record's ``arrival <= dispatch <= complete``;
+* **failover at-most-once** — at most one :class:`FailoverEvent` per
+  request; its source actually died, its re-dispatch respects the
+  heartbeat detection tick, and the request ended up served by the
+  target or honestly shed — never by the dead node;
+* **dead nodes stay dead** — no task on a dead node's timeline ends
+  after the death instant, and no record completes there after it.
+
+Violations use ``checker="cluster"``; per-node serving violations keep
+their own subjects (``{subject}/node{k}``) so reports point at the box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.metrics import tenant_name
+from repro.cluster.router import ClusterResult
+from repro.engine.timeline import TIME_EPS
+from repro.verify.report import Violation
+from repro.verify.servecheck import ServeCheckResult, request_id_of, verify_serving
+
+
+@dataclass
+class ClusterCheckResult:
+    """Outcome of auditing one cluster serving run."""
+
+    subject: str
+    submitted: int
+    served: int
+    shed: int
+    #: node id -> that node's serving audit
+    node_checks: dict[int, ServeCheckResult] = field(default_factory=dict)
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and all(
+            check.ok for check in self.node_checks.values()
+        )
+
+    def all_violations(self) -> list[Violation]:
+        """Cluster-level plus per-node violations, node order first."""
+        out: list[Violation] = []
+        for node_id in sorted(self.node_checks):
+            out.extend(self.node_checks[node_id].violations)
+        out.extend(self.violations)
+        return out
+
+    def _add(self, message: str, op: str | None = None) -> None:
+        self.violations.append(Violation("cluster", self.subject, message, op=op))
+
+
+def verify_cluster(
+    result: ClusterResult,
+    subject: str = "cluster run",
+    eps: float = TIME_EPS,
+) -> ClusterCheckResult:
+    """Audit one cluster run's artifacts against the distribution invariants."""
+    check = ClusterCheckResult(
+        subject,
+        submitted=len(result.requests),
+        served=len(result.records),
+        shed=len(result.shed),
+    )
+    submitted = {r.req_id: r for r in result.requests}
+    shed_ids = {e.request.req_id for e in result.shed}
+    record_ids = {r.req_id for r in result.records}
+
+    # 1. per-node serving audits (each node is an honest server on its own)
+    for node_id in sorted(result.node_results):
+        node_result = result.node_results[node_id]
+        check.node_checks[node_id] = verify_serving(
+            node_result.requests,
+            node_result.records,
+            node_result.shed,
+            node_result.timeline,
+            subject=f"{subject}/node{node_id}",
+            eps=eps,
+        )
+
+    # 2. single-serve: exactly-once across the fleet
+    served_by: dict[int, list[int]] = {}
+    for node_id in sorted(result.node_results):
+        for rec in result.node_results[node_id].records:
+            served_by.setdefault(rec.req_id, []).append(node_id)
+    for rid in sorted(served_by):
+        nodes = served_by[rid]
+        if len(nodes) > 1:
+            check._add(
+                f"request {rid} served by {len(nodes)} nodes {nodes} "
+                "(must be exactly one)",
+                op=f"req{rid}",
+            )
+
+    # 3. cluster conservation: records and shed partition the submissions
+    for rid in sorted(record_ids & shed_ids):
+        check._add(
+            f"request {rid} both served and shed at cluster scope",
+            op=f"req{rid}",
+        )
+    for rid in sorted((record_ids | shed_ids) - set(submitted)):
+        check._add(f"artifact for unknown request {rid}", op=f"req{rid}")
+    for rid in sorted(set(submitted) - record_ids - shed_ids):
+        check._add(
+            f"request {rid} neither served nor shed (lost in the cluster)",
+            op=f"req{rid}",
+        )
+
+    # 3b. tenant conservation: the per-tenant ledgers add up
+    per_tenant_sub: dict[str, int] = {}
+    for request in result.requests:
+        name = tenant_name(request.tenant)
+        per_tenant_sub[name] = per_tenant_sub.get(name, 0) + 1
+    per_tenant_out: dict[str, int] = {}
+    for rec in result.records:
+        per_tenant_out[rec.tenant] = per_tenant_out.get(rec.tenant, 0) + 1
+    for event in result.shed:
+        name = tenant_name(event.request.tenant)
+        per_tenant_out[name] = per_tenant_out.get(name, 0) + 1
+    for name in sorted(set(per_tenant_sub) | set(per_tenant_out)):
+        got, want = per_tenant_out.get(name, 0), per_tenant_sub.get(name, 0)
+        if got != want:
+            check._add(
+                f"tenant {name!r}: {want} submitted but {got} accounted "
+                "(served + shed)",
+                op=name,
+            )
+
+    # 4. shed never executes, on any node in the fleet
+    for node_id in sorted(result.node_results):
+        timeline = result.node_results[node_id].timeline
+        for name in sorted(timeline.spans):
+            rid = request_id_of(name)
+            if rid is not None and rid in shed_ids:
+                check._add(
+                    f"cluster-shed request {rid} has task {name!r} on "
+                    f"node {node_id}'s timeline",
+                    op=name,
+                )
+
+    # 5. dispatch causality
+    for dispatch in result.dispatches:
+        request = submitted.get(dispatch.req_id)
+        if request is None:
+            check._add(
+                f"dispatch of unknown request {dispatch.req_id}",
+                op=f"req{dispatch.req_id}",
+            )
+            continue
+        if dispatch.at_ms < request.arrival_ms - eps:
+            check._add(
+                f"request {dispatch.req_id} dispatched at {dispatch.at_ms:.6f} "
+                f"ms before its arrival at {request.arrival_ms:.6f} ms",
+                op=f"req{dispatch.req_id}",
+            )
+    for rec in result.records:
+        if rec.dispatch_ms < rec.arrival_ms - eps:
+            check._add(
+                f"request {rec.req_id}: dispatch {rec.dispatch_ms:.6f} ms "
+                f"precedes arrival {rec.arrival_ms:.6f} ms",
+                op=f"req{rec.req_id}",
+            )
+        if rec.complete_ms < rec.dispatch_ms - eps:
+            check._add(
+                f"request {rec.req_id}: completion {rec.complete_ms:.6f} ms "
+                f"precedes dispatch {rec.dispatch_ms:.6f} ms",
+                op=f"req{rec.req_id}",
+            )
+
+    # 6. failover at-most-once, from a node that actually died
+    deaths = {d.node_id: d for d in result.deaths}
+    seen_failover: dict[int, int] = {}
+    for event in result.failovers:
+        seen_failover[event.req_id] = seen_failover.get(event.req_id, 0) + 1
+    for rid in sorted(seen_failover):
+        if seen_failover[rid] > 1:
+            check._add(
+                f"request {rid} failed over {seen_failover[rid]} times "
+                "(at most once allowed)",
+                op=f"req{rid}",
+            )
+    for event in result.failovers:
+        label = f"req{event.req_id}"
+        death = deaths.get(event.from_node)
+        if death is None:
+            check._add(
+                f"request {event.req_id} failed over from node "
+                f"{event.from_node}, which never died",
+                op=label,
+            )
+        elif event.redispatch_ms < death.detect_ms - eps:
+            check._add(
+                f"request {event.req_id} re-dispatched at "
+                f"{event.redispatch_ms:.6f} ms before node "
+                f"{event.from_node}'s detection at {death.detect_ms:.6f} ms",
+                op=label,
+            )
+        source = result.node_results.get(event.from_node)
+        if source is not None and any(
+            r.req_id == event.req_id for r in source.records
+        ):
+            check._add(
+                f"request {event.req_id} failed over from node "
+                f"{event.from_node} yet also served there",
+                op=label,
+            )
+        target = result.node_results.get(event.to_node)
+        landed = target is not None and any(
+            r.req_id == event.req_id for r in target.records
+        )
+        if not landed and event.req_id not in shed_ids:
+            check._add(
+                f"request {event.req_id} failed over to node {event.to_node} "
+                "but was neither served there nor shed",
+                op=label,
+            )
+
+    # 7. dead nodes stay dead: nothing ends after the death instant
+    for node_id in sorted(deaths):
+        death = deaths[node_id]
+        node_result = result.node_results.get(node_id)
+        if node_result is None:
+            continue
+        for name in sorted(node_result.timeline.spans):
+            span = node_result.timeline.spans[name]
+            if span.end_ms > death.at_ms + eps:
+                check._add(
+                    f"dead node {node_id}: task {name!r} ends at "
+                    f"{span.end_ms:.6f} ms, after the death at "
+                    f"{death.at_ms:.6f} ms",
+                    op=name,
+                )
+        for rec in node_result.records:
+            if rec.complete_ms > death.at_ms + eps:
+                check._add(
+                    f"dead node {node_id}: request {rec.req_id} completes at "
+                    f"{rec.complete_ms:.6f} ms, after the death at "
+                    f"{death.at_ms:.6f} ms",
+                    op=f"req{rec.req_id}",
+                )
+    return check

@@ -435,6 +435,52 @@ def verify_serving(report: VerificationReport | None = None) -> VerificationRepo
     return report
 
 
+def verify_cluster(report: VerificationReport | None = None) -> VerificationReport:
+    """Serve a 2-tenant workload on a 3-node cluster, kill a node, audit it.
+
+    Node 1 of a 3-node, 2-GPU-per-node cluster loses both GPUs at the
+    same event boundary mid-run; the heartbeat detects it, the swallowed
+    requests fail over to the survivors, and the cluster auditor replays
+    the distribution invariants — single-serve, conservation (cluster and
+    per tenant), shed-never-executes fleet-wide, dispatch causality,
+    at-most-once failover, and dead-node truncation.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.cluster import ProofCluster, TenantSpec
+    from repro.engine.faults import FaultPlan, GpuFailure
+    from repro.serve import poisson_trace
+    from repro.verify.clustercheck import verify_cluster as check_cluster
+
+    report = report or VerificationReport()
+    curve = curve_by_name("BLS12-381")
+    config = DistMsmConfig(window_size=10)
+    workload = [
+        dc_replace(r, tenant="acme" if r.req_id % 3 else "zkmart")
+        for r in poisson_trace(
+            curve, count=12, rate_rps=400.0, seed=3, sizes=1 << 16
+        )
+    ]
+    cluster = ProofCluster(
+        3,
+        gpus_per_node=2,
+        config=config,
+        tenants=(TenantSpec("acme", weight=2.0), TenantSpec("zkmart")),
+    )
+    # global GPU ids 2 and 3 are node 1's: both die at the same boundary
+    result = cluster.serve(
+        workload, faults=FaultPlan.of(GpuFailure(8.0, 2), GpuFailure(8.0, 3))
+    )
+    checked = check_cluster(result, subject="3-node cluster (node 1 dies at 8 ms)")
+    report.extend(checked.all_violations())
+    report.add_check(
+        f"cluster audit clean: {checked.served} served across "
+        f"{len(result.node_results)} nodes, {len(result.deaths)} node death, "
+        f"{len(result.failovers)} failovers, {checked.shed} shed"
+    )
+    return report
+
+
 def verify_observability(report: VerificationReport | None = None) -> VerificationReport:
     """Trace a 2-GPU MSM and a small serve run, then audit the traces.
 
@@ -559,6 +605,7 @@ def verify_all() -> VerificationReport:
     verify_fault_recovery(report)
     verify_byzantine(report)
     verify_serving(report)
+    verify_cluster(report)
     verify_observability(report)
     verify_static_analysis(report)
     return report

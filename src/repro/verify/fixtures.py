@@ -44,6 +44,11 @@ checker rejects it with a diagnostic naming the offending op or address.
   deadlock under strict in-order CUDA streams even though the
   readiness-FIFO simulator would happily reorder around them (a batcher
   submitting out of topological order).
+* ``cluster-double-serve`` — a cluster run whose fleet served one request
+  on two nodes at once: a real 2-node run with one node's record replayed
+  into the other node's result (a router retrying a dispatch it wrongly
+  believed lost — or a failover that forgot the original node survived —
+  would produce exactly this);
 * ``forged-result`` — a Byzantine execution whose audit trail was doctored
   to launder the cheater's chunk: the rejected verdict rewritten to
   ``accepted`` and the consumed-slot map pointed at the forged delivery
@@ -426,6 +431,37 @@ def broken_integrity_check() -> "IntegrityCheckResult":
     )
 
 
+def broken_cluster_check() -> "ClusterCheckResult":
+    """A cluster run where one request was served by two nodes at once.
+
+    Runs a real 2-node cluster over a small workload, then replays one of
+    node 0's request records into node 1's result — the distributed
+    exactly-once claim is now false and the cluster auditor must say so.
+    """
+    from dataclasses import replace
+
+    from repro.cluster import ProofCluster
+    from repro.core.config import DistMsmConfig
+    from repro.curves.params import curve_by_name
+    from repro.serve.queue import ProofRequest
+    from repro.verify.clustercheck import verify_cluster
+
+    curve = curve_by_name("BLS12-381")
+    requests = [
+        ProofRequest(
+            i, curve, 1 << 14, arrival_ms=0.5 * i,
+            tenant="acme" if i % 2 else "zkmart",
+        )
+        for i in range(4)
+    ]
+    cluster = ProofCluster(2, gpus_per_node=1, config=DistMsmConfig(window_size=10))
+    result = cluster.serve(requests)
+    victim = result.node_results[0].records[0]
+    # the double-serve: the same request "also" completed on node 1
+    result.node_results[1].records.append(replace(victim))
+    return verify_cluster(result, subject="2-node cluster (double-served request)")
+
+
 #: fixture name -> callable returning a checker result that must FAIL
 FIXTURES = {
     "register-peak": broken_schedule_check,
@@ -440,6 +476,7 @@ FIXTURES = {
     "unit-mixing": broken_units_check,
     "interval-overflow": broken_interval_check,
     "plan-deadlock": broken_plan_check,
+    "cluster-double-serve": broken_cluster_check,
     "forged-result": broken_integrity_check,
 }
 

@@ -1,0 +1,187 @@
+"""Cluster failover: plan splitting, death detection, bit-exact re-routing."""
+
+import pytest
+
+from repro.cluster import (
+    ProofCluster,
+    ProofNode,
+    TenantSpec,
+    node_of_gpu,
+    serve_dying_node,
+    split_fault_plan,
+)
+from repro.core.config import DistMsmConfig
+from repro.curves.params import curve_by_name
+from repro.curves.sampling import msm_instance
+from repro.curves.toy import toy_curve
+from repro.engine.faults import FaultPlan, GpuFailure, Straggler, TransferError
+from repro.msm.naive import naive_msm
+from repro.serve import MsmPayload, ProofRequest
+from repro.verify.clustercheck import verify_cluster
+
+BLS = curve_by_name("BLS12-381")
+CONFIG = DistMsmConfig(window_size=10)
+
+
+def _requests(count: int, gap_ms: float = 1.0) -> list[ProofRequest]:
+    return [
+        ProofRequest(
+            req_id=i,
+            curve=BLS,
+            n=1 << 16,
+            arrival_ms=i * gap_ms,
+            label=f"r{i}",
+            tenant="acme" if i % 2 else "zkmart",
+        )
+        for i in range(count)
+    ]
+
+
+class TestNodeOfGpu:
+    def test_maps_global_to_local(self):
+        counts = [2, 2, 4]
+        assert node_of_gpu(0, counts) == (0, 0)
+        assert node_of_gpu(1, counts) == (0, 1)
+        assert node_of_gpu(2, counts) == (1, 0)
+        assert node_of_gpu(4, counts) == (2, 0)
+        assert node_of_gpu(7, counts) == (2, 3)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            node_of_gpu(8, [2, 2, 4])
+
+
+class TestSplitFaultPlan:
+    def test_empty_plan_is_all_none(self):
+        plans, deaths = split_fault_plan(None, [2, 2], heartbeat_ms=5.0)
+        assert plans == [None, None]
+        assert deaths == []
+
+    def test_partial_kill_stays_local_no_death(self):
+        faults = FaultPlan.of(GpuFailure(3.0, 2))  # node 1's first GPU
+        plans, deaths = split_fault_plan(faults, [2, 2], heartbeat_ms=5.0)
+        assert deaths == []
+        assert plans[0] is None
+        assert plans[1] is not None
+        (event,) = plans[1].events
+        assert isinstance(event, GpuFailure)
+        assert event.gpu_id == 0  # remapped to the node-local id
+
+    def test_full_node_kill_becomes_death_and_kills_are_withheld(self):
+        faults = FaultPlan.of(GpuFailure(3.0, 2), GpuFailure(4.0, 3))
+        plans, deaths = split_fault_plan(faults, [2, 2], heartbeat_ms=5.0)
+        (death,) = deaths
+        assert death.node_id == 1
+        assert death.at_ms == pytest.approx(4.0)  # the LAST kill stops the box
+        assert death.detect_ms >= death.at_ms
+        # the earlier kill stays local (intra-node recovery still runs);
+        # the final kill is withheld so the node server keeps a survivor
+        assert plans[1] is not None
+        kills = [e for e in plans[1].events if isinstance(e, GpuFailure)]
+        assert [(k.at_ms, k.gpu_id) for k in kills] == [(3.0, 0)]
+
+    def test_simultaneous_full_kill_withholds_everything(self):
+        faults = FaultPlan.of(GpuFailure(3.0, 2), GpuFailure(3.0, 3))
+        plans, deaths = split_fault_plan(faults, [2, 2], heartbeat_ms=5.0)
+        assert deaths[0].at_ms == pytest.approx(3.0)
+        assert plans[1] is None
+
+    def test_transfer_error_routes_to_named_node(self):
+        faults = FaultPlan.of(
+            TransferError(1, 2.0, transient=True), Straggler(3, 2.0)
+        )
+        plans, deaths = split_fault_plan(faults, [2, 2], heartbeat_ms=5.0)
+        assert deaths == []
+        assert plans[0] is None
+        events = plans[1].events
+        assert any(
+            isinstance(e, TransferError) and e.node == 0 for e in events
+        )
+        assert any(
+            isinstance(e, Straggler) and e.gpu_id == 1 for e in events
+        )
+
+    def test_transfer_error_beyond_cluster_raises(self):
+        with pytest.raises(ValueError):
+            split_fault_plan(
+                FaultPlan.of(TransferError(5, 1.0, transient=True)),
+                [2, 2],
+                heartbeat_ms=5.0,
+            )
+
+    def test_bad_heartbeat_raises(self):
+        with pytest.raises(ValueError):
+            split_fault_plan(None, [2, 2], heartbeat_ms=0.0)
+
+
+class TestServeDyingNode:
+    def test_truncates_at_death(self):
+        node = ProofNode(0, num_gpus=2, config=CONFIG)
+        for req in _requests(6, gap_ms=2.0):
+            node.assign(req, req.arrival_ms, est_service_ms=6.0)
+        from repro.cluster import NodeDeath
+
+        death = NodeDeath(node_id=0, at_ms=12.0, detect_ms=14.0)
+        result, lost = serve_dying_node(node, None, death)
+        assert all(r.complete_ms <= death.at_ms + 1e-9 for r in result.records)
+        served = {r.req_id for r in result.records}
+        assert served.isdisjoint(lost)
+        assert served | lost == set(range(6))
+        assert lost  # at 2 ms apart with ~6 ms service, some work is swallowed
+
+
+class TestClusterFailover:
+    def test_node_kill_reroutes_to_survivor_and_audits_clean(self):
+        requests = _requests(12, gap_ms=1.0)
+        kill = FaultPlan.of(GpuFailure(6.0, 2), GpuFailure(6.0, 3))
+        cluster = ProofCluster(2, gpus_per_node=2, config=CONFIG)
+        result = cluster.serve(requests, faults=kill)
+
+        (death,) = result.deaths
+        assert death.node_id == 1
+        assert result.failovers, "the death swallowed in-flight work"
+        for event in result.failovers:
+            assert event.from_node == 1
+            assert event.to_node == 0
+            assert event.redispatch_ms >= death.detect_ms - 1e-9
+        # everything is accounted for exactly once
+        checked = verify_cluster(result, subject="kill test")
+        assert checked.ok, [str(v) for v in checked.all_violations()]
+        assert len(result.records) + len(result.shed) == len(requests)
+
+    def test_failover_is_bit_exact_on_payloads(self):
+        toy = toy_curve()
+        cfg = DistMsmConfig(
+            window_size=4, threads_per_block=32, points_per_thread=4
+        )
+        requests, expected = [], {}
+        for i in range(6):
+            scalars, points = msm_instance(toy, 16, seed=300 + i)
+            requests.append(
+                ProofRequest(
+                    req_id=i,
+                    curve=toy,
+                    n=16,
+                    arrival_ms=0.0,
+                    payload=MsmPayload(tuple(scalars), tuple(points)),
+                    label=f"f{i}",
+                    tenant="acme" if i % 2 else "zkmart",
+                )
+            )
+            expected[i] = naive_msm(scalars, points, toy)
+        cluster = ProofCluster(
+            2,
+            gpus_per_node=2,
+            config=cfg,
+            tenants=(TenantSpec("acme"), TenantSpec("zkmart")),
+        )
+        result = cluster.serve(
+            requests, faults=FaultPlan.of(GpuFailure(0.05, 2), GpuFailure(0.05, 3))
+        )
+        assert result.metrics.failover_count >= 1
+        assert len(result.records) == 6
+        for record in result.records:
+            # the answer must not depend on which node computed it
+            assert record.result == expected[record.req_id]
+        checked = verify_cluster(result, subject="bit-exact failover")
+        assert checked.ok, [str(v) for v in checked.all_violations()]

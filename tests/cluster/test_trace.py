@@ -1,0 +1,111 @@
+"""Replayable cluster traces: format round-trip and deterministic replay."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterTrace,
+    ProofCluster,
+    TraceSegment,
+    generate_requests,
+    replay,
+)
+from repro.cluster.trace import diurnal_burst_trace
+from repro.core.config import DistMsmConfig
+from repro.verify.clustercheck import verify_cluster
+
+
+def _small_trace() -> ClusterTrace:
+    return diurnal_burst_trace(
+        name="unit", seed=3, rate_rps=300.0, scale=0.3
+    )
+
+
+class TestFormat:
+    def test_json_round_trip_is_identity(self):
+        trace = _small_trace()
+        assert ClusterTrace.from_json(trace.to_json()) == trace
+
+    def test_save_load(self, tmp_path):
+        trace = _small_trace()
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        assert ClusterTrace.load(path) == trace
+
+    def test_unknown_format_rejected(self):
+        trace = _small_trace()
+        doctored = trace.to_json().replace(
+            "repro.cluster.trace/v1", "someone.else/v9"
+        )
+        with pytest.raises(ValueError):
+            ClusterTrace.from_json(doctored)
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            TraceSegment(name="x", kind="tsunami", duration_ms=10.0)
+        with pytest.raises(ValueError):
+            TraceSegment(name="x", kind="warmup", duration_ms=0.0)
+        with pytest.raises(ValueError):
+            TraceSegment(
+                name="x", kind="warmup", duration_ms=10.0,
+                tenant_mix=(("acme", -1.0),),
+            )
+
+    def test_duration_is_sum_of_segments(self):
+        trace = _small_trace()
+        assert trace.duration_ms == pytest.approx(
+            sum(s.duration_ms for s in trace.segments)
+        )
+
+
+class TestGeneration:
+    def test_replay_is_deterministic(self):
+        a = generate_requests(_small_trace())
+        b = generate_requests(_small_trace())
+        assert [
+            (r.req_id, r.arrival_ms, r.n, r.tenant, r.label) for r in a
+        ] == [(r.req_id, r.arrival_ms, r.n, r.tenant, r.label) for r in b]
+
+    def test_different_seed_different_arrivals(self):
+        base = _small_trace()
+        other = ClusterTrace(
+            name=base.name, curve=base.curve, seed=base.seed + 1,
+            segments=base.segments,
+        )
+        a = [r.arrival_ms for r in generate_requests(base)]
+        b = [r.arrival_ms for r in generate_requests(other)]
+        assert a != b
+
+    def test_requests_are_ordered_and_in_window(self):
+        trace = _small_trace()
+        requests = generate_requests(trace)
+        assert requests, "the canonical trace must generate work"
+        assert [r.req_id for r in requests] == list(range(len(requests)))
+        arrivals = [r.arrival_ms for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= a < trace.duration_ms for a in arrivals)
+
+    def test_tenants_come_from_the_mix(self):
+        requests = generate_requests(_small_trace())
+        tenants = {r.tenant for r in requests}
+        assert tenants <= {"acme", "zkmart"}
+        assert len(tenants) == 2
+
+    def test_deadline_class_stamps_requests(self):
+        trace = diurnal_burst_trace(
+            name="slo", seed=3, rate_rps=200.0, deadline_ms=40.0, scale=0.3
+        )
+        requests = generate_requests(trace)
+        for r in requests:
+            assert r.deadline_ms == pytest.approx(r.arrival_ms + 40.0)
+
+
+class TestReplay:
+    def test_replay_serves_the_trace_and_audits_clean(self):
+        cluster = ProofCluster(
+            2, gpus_per_node=2, config=DistMsmConfig(window_size=10)
+        )
+        result = replay(cluster, _small_trace())
+        assert result.metrics.submitted == len(generate_requests(_small_trace()))
+        assert result.metrics.served + len(result.shed) == result.metrics.submitted
+        checked = verify_cluster(result, subject="trace replay")
+        assert checked.ok, [str(v) for v in checked.all_violations()]

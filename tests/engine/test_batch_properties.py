@@ -1,0 +1,87 @@
+"""Property tests for BatchMsmScheduler's least-loaded policy.
+
+The cluster router trusts the scheduler's group assignment to be
+deterministic and fair, so the tie-breaking contract is pinned down by
+Hypothesis: under equal loads the policy must break ties by the lowest
+group index (making it reproducible run to run), and as long as there
+are at least as many requests as groups, no group may starve.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import DistMsmConfig
+from repro.curves.params import curve_by_name
+from repro.engine import BatchMsmScheduler, MsmRequest
+from repro.gpu.cluster import MultiGpuSystem
+
+BLS = curve_by_name("BLS12-381")
+CONFIG = DistMsmConfig(window_size=10)
+
+
+def _assignment(tasks) -> dict[int, int]:
+    """request index -> gpu group, parsed from the emitted GPU tasks."""
+    groups = {}
+    for task in tasks:
+        if task.name.endswith(":gpu"):
+            index = int(task.name.rsplit("#", 1)[1].split(":")[0])
+            groups[index] = task.resource.index
+    return groups
+
+
+def _schedule(log_ns: list[int], gpu_groups: int) -> dict[int, int]:
+    scheduler = BatchMsmScheduler(
+        MultiGpuSystem(4),
+        CONFIG,
+        gpu_groups=gpu_groups,
+        policy="least-loaded",
+    )
+    requests = [MsmRequest(f"r{i}", BLS, 1 << ln) for i, ln in enumerate(log_ns)]
+    tasks, _, _ = scheduler.emit_tasks(requests)
+    return _assignment(tasks)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    gpu_groups=st.sampled_from([1, 2, 4]),
+    log_ns=st.lists(st.integers(min_value=12, max_value=18), min_size=1, max_size=10),
+)
+def test_least_loaded_is_deterministic(gpu_groups, log_ns):
+    """The same requests always land on the same groups."""
+    assert _schedule(log_ns, gpu_groups) == _schedule(log_ns, gpu_groups)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    gpu_groups=st.sampled_from([2, 4]),
+    log_ns=st.lists(st.integers(min_value=12, max_value=18), min_size=4, max_size=12),
+)
+def test_least_loaded_never_starves_a_group(gpu_groups, log_ns):
+    """With >= one request per group, every group receives work."""
+    assignment = _schedule(log_ns, gpu_groups)
+    assert set(assignment.values()) == set(range(gpu_groups))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    gpu_groups=st.sampled_from([2, 4]),
+    count=st.integers(min_value=2, max_value=12),
+    log_n=st.integers(min_value=12, max_value=18),
+)
+def test_equal_loads_break_ties_by_group_index(gpu_groups, count, log_n):
+    """Identical requests degrade to round-robin: ties go to the lowest
+    group, so after each full cycle the loads equalise again."""
+    assignment = _schedule([log_n] * count, gpu_groups)
+    for i in range(count):
+        assert assignment[i] == i % gpu_groups
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    log_ns=st.lists(st.integers(min_value=12, max_value=18), min_size=2, max_size=10),
+)
+def test_first_requests_fan_out_before_any_group_doubles_up(log_ns):
+    """From an idle start the first G requests land on G distinct groups."""
+    gpu_groups = 4
+    assignment = _schedule(log_ns, gpu_groups)
+    head = [assignment[i] for i in range(min(gpu_groups, len(log_ns)))]
+    assert head == list(range(len(head)))

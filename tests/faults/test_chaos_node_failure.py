@@ -1,0 +1,100 @@
+"""random_fault_plan's node_failure_probability knob (whole-box fail-stop)."""
+
+from repro.cluster import split_fault_plan
+from repro.engine.faults import GpuFailure
+from repro.faults.chaos import random_fault_plan
+
+import pytest
+
+
+def _kills(plan):
+    return [e for e in plan.events if isinstance(e, GpuFailure)]
+
+
+class TestSeedStability:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_zero_probability_changes_nothing(self, seed):
+        """Plans for existing seeds are byte-identical when the knob is off."""
+        classic = random_fault_plan(seed, num_gpus=8, horizon_ms=20.0)
+        gated = random_fault_plan(
+            seed, num_gpus=8, horizon_ms=20.0, node_failure_probability=0.0
+        )
+        assert classic.events == gated.events
+
+    def test_same_seed_same_plan(self):
+        a = random_fault_plan(
+            3, num_gpus=8, horizon_ms=20.0, gpus_per_node=4,
+            node_failure_probability=1.0,
+        )
+        b = random_fault_plan(
+            3, num_gpus=8, horizon_ms=20.0, gpus_per_node=4,
+            node_failure_probability=1.0,
+        )
+        assert a.events == b.events
+
+
+class TestNodeKillShape:
+    def test_whole_node_dies_at_one_event_boundary(self):
+        plan = random_fault_plan(
+            0,
+            num_gpus=8,
+            horizon_ms=20.0,
+            gpus_per_node=4,
+            max_gpu_failures=0,  # isolate the node kill
+            straggler_probability=0.0,
+            transfer_error_probability=0.0,
+            node_failure_probability=1.0,
+        )
+        kills = _kills(plan)
+        assert len(kills) == 4
+        assert len({k.at_ms for k in kills}) == 1  # the SAME boundary
+        nodes = {k.gpu_id // 4 for k in kills}
+        assert len(nodes) == 1  # all on one box
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_never_kills_the_last_live_node(self, seed):
+        plan = random_fault_plan(
+            seed,
+            num_gpus=8,
+            horizon_ms=20.0,
+            gpus_per_node=4,
+            node_failure_probability=1.0,
+        )
+        killed = {k.gpu_id for k in _kills(plan)}
+        assert killed != set(range(8)), "some GPU must survive cluster-wide"
+
+    def test_single_node_cluster_is_never_killed(self):
+        plan = random_fault_plan(
+            0,
+            num_gpus=4,
+            horizon_ms=20.0,
+            gpus_per_node=4,
+            max_gpu_failures=0,
+            straggler_probability=0.0,
+            transfer_error_probability=0.0,
+            node_failure_probability=1.0,
+        )
+        assert not _kills(plan)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_split_fault_plan_sees_the_death(self, seed):
+        """The knob's output is exactly the signature the cluster detects."""
+        plan = random_fault_plan(
+            seed,
+            num_gpus=8,
+            horizon_ms=20.0,
+            gpus_per_node=4,
+            max_gpu_failures=0,
+            straggler_probability=0.0,
+            transfer_error_probability=0.0,
+            byzantine_probability=0.0,
+            node_failure_probability=1.0,
+        )
+        _, deaths = split_fault_plan(plan, [4, 4], heartbeat_ms=5.0)
+        assert len(deaths) == 1
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            random_fault_plan(
+                0, num_gpus=8, horizon_ms=20.0, node_failure_probability=1.5
+            )

@@ -50,6 +50,7 @@ class TestInjectedFaults:
             "timeline-overlap",
             "serve-before-arrival",
             "trace-drift",
+            "cluster-double-serve",
         ],
     )
     def test_fault_is_caught_with_nonzero_exit(self, fixture):

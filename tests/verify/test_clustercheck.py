@@ -1,0 +1,69 @@
+"""clustercheck: the cluster-level audit catches what node audits cannot."""
+
+from dataclasses import replace
+
+from repro.cluster import ProofCluster
+from repro.core.config import DistMsmConfig
+from repro.curves.params import curve_by_name
+from repro.engine.faults import FaultPlan, GpuFailure
+from repro.serve import ProofRequest
+from repro.verify.clustercheck import verify_cluster
+from repro.verify.fixtures import FIXTURES, broken_cluster_check
+
+BLS = curve_by_name("BLS12-381")
+CONFIG = DistMsmConfig(window_size=10)
+
+
+def _run(num_nodes: int = 2, count: int = 8, faults: FaultPlan | None = None):
+    requests = [
+        ProofRequest(
+            req_id=i, curve=BLS, n=1 << 16, arrival_ms=i * 1.0,
+            label=f"r{i}", tenant="acme" if i % 2 else "zkmart",
+        )
+        for i in range(count)
+    ]
+    cluster = ProofCluster(num_nodes, gpus_per_node=2, config=CONFIG)
+    return cluster.serve(requests, faults=faults)
+
+
+class TestCleanRuns:
+    def test_plain_run_is_clean(self):
+        checked = verify_cluster(_run(), subject="clean")
+        assert checked.ok
+        assert not checked.all_violations()
+        assert checked.served == 8
+        assert checked.submitted == 8
+
+    def test_node_kill_run_is_clean(self):
+        kill = FaultPlan.of(GpuFailure(5.0, 2), GpuFailure(5.0, 3))
+        result = _run(count=10, faults=kill)
+        checked = verify_cluster(result, subject="kill")
+        assert checked.ok, [str(v) for v in checked.all_violations()]
+        # per-node sub-audits ran too
+        assert set(checked.node_checks) == {0, 1}
+
+
+class TestDoctoredRuns:
+    def test_double_serve_is_flagged(self):
+        result = _run()
+        victim = result.node_results[0].records[0]
+        result.node_results[1].records.append(replace(victim))
+        checked = verify_cluster(result, subject="doctored")
+        assert not checked.ok
+        assert any("served by" in v.message for v in checked.all_violations())
+
+    def test_vanished_request_is_flagged(self):
+        result = _run()
+        result.node_results[0].records.pop()
+        checked = verify_cluster(result, subject="doctored")
+        assert not checked.ok
+        assert any(
+            "neither served nor shed" in v.message
+            for v in checked.all_violations()
+        )
+
+    def test_fixture_is_registered_and_fails(self):
+        assert "cluster-double-serve" in FIXTURES
+        checked = broken_cluster_check()
+        assert not checked.ok
+        assert any("served by" in v.message for v in checked.all_violations())
