@@ -11,9 +11,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: ci lint typecheck analyze verify bench-smoke bench-compare chaos-smoke byzantine-smoke serve-smoke cluster-smoke trace-smoke test
+.PHONY: ci lint typecheck analyze verify bench-smoke bench-compare chaos-smoke byzantine-smoke serve-smoke cluster-smoke trace-smoke tune-smoke test
 
-ci: lint typecheck analyze verify bench-smoke byzantine-smoke chaos-smoke serve-smoke cluster-smoke trace-smoke bench-compare test
+ci: lint typecheck analyze verify bench-smoke byzantine-smoke chaos-smoke serve-smoke cluster-smoke trace-smoke tune-smoke bench-compare test
 	@echo "ci: all gates passed"
 
 lint:
@@ -71,6 +71,10 @@ cluster-smoke:
 trace-smoke:
 	@echo "== traced-run smoke benchmark (observe audit)"
 	@$(PYTHON) benchmarks/bench_trace.py --smoke
+
+tune-smoke:
+	@echo "== auto-tuner smoke benchmark (tuned vs analytic plans)"
+	@$(PYTHON) benchmarks/bench_tune.py --smoke
 
 test:
 	@echo "== pytest (tier 1)"

@@ -1,0 +1,166 @@
+"""Tuned-vs-analytic plan benchmark: does the auto-tuner actually pay?
+
+For a grid of (curve, GPU count, MSM size) workloads, runs the
+:mod:`repro.tune` coordinate search and records the modelled makespan of
+the analytic-default plan vs the tuned plan.  Both sides are scored by
+the same :class:`~repro.core.backends.AnalyticBackend` cost model in the
+same process, so every ``tuned_speedup`` is a machine-independent ratio
+— exactly what ``compare_bench.py`` gates.  The bottleneck oracle's
+verdict on the default plan is recorded per cell as context (what the
+tuner was attacking).
+
+Writes ``results/tune.txt`` (rendered table) and
+``results/BENCH_tune.json``.  Runs under pytest-benchmark (``make
+bench``) and standalone::
+
+    PYTHONPATH=src python benchmarks/bench_tune.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from conftest import save_result
+
+from repro import DistMsm, MultiGpuSystem, curve_by_name
+from repro.analysis.tables import format_table
+from repro.tune import analyze_result, tune_msm, tune_serve_policy
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: (curve, gpus, log_n) cells; the smoke subset keeps `make ci` fast
+SMOKE_GRID = [
+    ("BLS12-381", 1, 18),
+    ("BLS12-381", 4, 18),
+    ("BN254", 8, 18),
+]
+FULL_GRID = SMOKE_GRID + [
+    ("BN254", 4, 20),
+    ("BLS12-381", 8, 20),
+    ("MNT4753", 4, 18),
+]
+
+SEED = 0
+BUDGET = 64
+
+
+def run_grid(smoke: bool) -> dict:
+    """Tune every grid cell; returns the full benchmark record."""
+    cells = []
+    for curve_name, gpus, log_n in (SMOKE_GRID if smoke else FULL_GRID):
+        curve = curve_by_name(curve_name)
+        system = MultiGpuSystem(gpus)
+        n = 1 << log_n
+        plan = tune_msm(system, curve, n, seed=SEED, budget=BUDGET)
+        oracle = analyze_result(
+            DistMsm(system).estimate(curve, n),
+            subject=f"{curve_name}-{gpus}gpu-2^{log_n}",
+        )
+        cells.append(
+            {
+                **plan.as_dict(),
+                "log_n": log_n,
+                "default_primary": f"{oracle.primary} ({oracle.primary_bound})",
+                "audit_ok": oracle.audit_ok,
+            }
+        )
+    policy = tune_serve_policy(
+        4, curve_by_name("BLS12-381"), request_count=8, seed=SEED, budget=8
+    )
+    return {
+        "bench": "tune",
+        "smoke": smoke,
+        "seed": SEED,
+        "budget": BUDGET,
+        "cells": {
+            f"{c['curve']}_{c['num_gpus']}gpu_2e{c['log_n']}": c for c in cells
+        },
+        "best_tuned_speedup": max(c["tuned_speedup"] for c in cells),
+        "serve_policy": policy.as_dict(),
+    }
+
+
+def render(record: dict) -> str:
+    headers = [
+        "curve", "gpus", "n", "s", "scatter", "tpb_min", "cpu-reduce",
+        "default ms", "tuned ms", "speedup", "default bottleneck",
+    ]
+    rows = []
+    for cell in record["cells"].values():
+        rows.append(
+            [
+                cell["curve"],
+                cell["num_gpus"],
+                f"2^{cell['log_n']}",
+                cell["window_size"],
+                cell["scatter"],
+                cell["threads_per_bucket_min"],
+                str(cell["bucket_reduce_on_cpu"]),
+                f"{cell['default_ms']:.3f}",
+                f"{cell['tuned_ms']:.3f}",
+                f"{cell['tuned_speedup']:.3f}x",
+                cell["default_primary"],
+            ]
+        )
+    policy = record["serve_policy"]
+    footer = (
+        f"\nbest tuned speedup: {record['best_tuned_speedup']:.3f}x "
+        f"(seed {record['seed']}, budget {record['budget']} evals/cell)\n"
+        f"serve batch triggers: max_batch_size={policy['max_batch_size']} "
+        f"max_wait_ms={policy['max_wait_ms']} -> p95 "
+        f"{policy['default_p95_ms']:.3f} -> {policy['tuned_p95_ms']:.3f} ms "
+        f"({policy['p95_improvement']:.3f}x)"
+    )
+    return (
+        format_table(headers, rows, title="Auto-tuned vs analytic-default plans")
+        + footer
+    )
+
+
+def check_invariants(record: dict) -> None:
+    for name, cell in record["cells"].items():
+        assert cell["tuned_speedup"] >= 1.0, f"{name}: tuner lost to the default"
+        assert cell["audit_ok"], f"{name}: oracle audit failed"
+    # the ISSUE acceptance gate: tuning must pay >= 1.1x somewhere
+    assert record["best_tuned_speedup"] >= 1.1, (
+        f"no cell reached 1.1x (best {record['best_tuned_speedup']:.3f}x)"
+    )
+    assert record["serve_policy"]["p95_improvement"] >= 1.0
+
+
+def write_bench_json(payload: dict) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_tune.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_tune(benchmark):
+    record = benchmark.pedantic(run_grid, args=(True,), rounds=1, iterations=1)
+    save_result("tune", render(record))
+    check_invariants(record)
+    write_bench_json(record)
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    start = time.perf_counter()
+    record = run_grid(smoke)
+    wall_s = time.perf_counter() - start
+    check_invariants(record)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "tune.txt").write_text(render(record) + "\n")
+    path = write_bench_json(record)
+    print(
+        f"tune: best speedup {record['best_tuned_speedup']:.3f}x over "
+        f"{len(record['cells'])} cells ({wall_s:.2f}s)"
+    )
+    print(f"[saved to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

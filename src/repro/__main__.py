@@ -7,6 +7,7 @@ Usage::
     python -m repro fig11 --log-n 24     # Fig. 11 at a custom size
     python -m repro msm --curve BN254 --log-n 20 --gpus 8
     python -m repro trace --curve BN254 --log-n 20 --gpus 4 --out msm.json
+    python -m repro tune --curve BLS12-381 --log-n 18 --gpus 4
     python -m repro cluster-replay trace.json --nodes 4 --gpus 2
 """
 
@@ -69,6 +70,59 @@ def _run_trace(args) -> int:
     return 0
 
 
+def _run_tune(args) -> int:
+    from repro import DistMsm, MultiGpuSystem, curve_by_name
+    from repro.serve import MsmProofServer
+    from repro.tune import analyze_result, seed_server, tune_msm
+
+    curve = curve_by_name(args.curve)
+    gpus = args.gpus or 4
+    log_n = args.log_n or 18
+    n = 1 << log_n
+    seed = args.seed if args.seed is not None else 0
+    budget = args.budget or 96
+    system = MultiGpuSystem(gpus)
+
+    plan = tune_msm(system, curve, n, seed=seed, budget=budget)
+    print(
+        f"{curve.name}, N=2^{log_n}, {gpus} x A100: analytic default "
+        f"{plan.default_ms:.3f} ms -> tuned {plan.tuned_ms:.3f} ms "
+        f"({plan.speedup:.3f}x, {plan.evaluations} evaluations, seed {seed})"
+    )
+    print(
+        f"  winning config: s={plan.window_size}, scatter={plan.config.scatter}, "
+        f"threads_per_bucket_min={plan.config.threads_per_bucket_min}, "
+        f"bucket_reduce_on_cpu={plan.config.bucket_reduce_on_cpu}"
+    )
+    print()
+    print(analyze_result(DistMsm(system).estimate(curve, n), "analytic-default").render())
+    print()
+    print(
+        analyze_result(
+            DistMsm(system, plan.config).estimate(curve, n), "tuned"
+        ).render()
+    )
+
+    server = MsmProofServer(system)
+    report = seed_server(server, [(curve, n)], seed=seed, budget=budget)
+    print()
+    print(report.render())
+    cached, hit = server.plan_cache.lookup(server._engine_for(gpus), curve, n)
+    print(
+        f"plan cache now serves (curve={curve.name}, n=2^{log_n}) as a "
+        f"{'HIT' if hit else 'miss'}: s={cached.window_size}, "
+        f"service {cached.service_ms:.3f} ms"
+    )
+    if args.out:
+        import json
+
+        payload = {"plan": plan.as_dict(), "seed_report": report.as_dict()}
+        with open(args.out, "w") as fh:
+            fh.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"[tuning report written to {args.out}]")
+    return 0
+
+
 def _run_cluster_replay(args) -> int:
     from repro.cluster import ClusterTrace, ProofCluster, replay
 
@@ -123,6 +177,12 @@ def main(argv: list | None = None) -> int:
     parser.add_argument(
         "--nodes", type=int, default=None, help="cluster node count (cluster-replay)"
     )
+    parser.add_argument(
+        "--budget", type=int, default=None, help="search evaluation budget (tune)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="search seed (tune)"
+    )
     args = parser.parse_args(argv)
 
     runners = _experiment_runners()
@@ -130,12 +190,15 @@ def main(argv: list | None = None) -> int:
         print("experiments:", ", ".join(sorted(runners)))
         print("utilities:   msm (--curve --log-n --gpus), "
               "trace (--curve --log-n --gpus --out), "
+              "tune (--curve --log-n --gpus --budget --seed --out), "
               "cluster-replay <trace.json> (--nodes --gpus)")
         return 0
     if args.experiment == "msm":
         return _run_msm(args)
     if args.experiment == "trace":
         return _run_trace(args)
+    if args.experiment == "tune":
+        return _run_tune(args)
     if args.experiment == "cluster-replay":
         return _run_cluster_replay(args)
     if args.experiment not in runners:

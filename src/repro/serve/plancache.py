@@ -134,6 +134,35 @@ class PlanCache:
             self.stats.evictions += 1
         return built, False
 
+    def install(
+        self, engine: DistMsm, curve: CurveParams, n: int, plan: CachedPlan
+    ) -> None:
+        """Seed the cache with an externally built plan.
+
+        This is the auto-tuner's write path (:mod:`repro.tune.seed`): the
+        entry is stored under the key the *serving* engine will look it up
+        with, so subsequent :meth:`lookup` calls hit the tuned plan
+        instead of rebuilding the analytic default.  Counts as neither a
+        hit nor a miss; evicts LRU entries if the cache is full.
+        """
+        key = self.key_for(engine, curve, n)
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    @staticmethod
+    def build_plan(engine: DistMsm, curve: CurveParams, n: int) -> CachedPlan:
+        """Plan ``(curve, n)`` on ``engine`` without touching any cache.
+
+        The same construction :meth:`lookup` memoizes on a miss, exposed
+        for producers that build entries for :meth:`install` — the tuner
+        plans with a *tuned* engine and installs under the serving
+        engine's key.
+        """
+        return PlanCache._build(engine, curve, n)
+
     @staticmethod
     def _build(engine: DistMsm, curve: CurveParams, n: int) -> CachedPlan:
         est = engine.estimate(curve, n)

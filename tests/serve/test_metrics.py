@@ -39,6 +39,34 @@ class TestPercentile:
         for q in (0.0, 25.0, 50.0, 75.0, 95.0, 100.0):
             assert percentile(values, q) in values
 
+    def test_metrics_module_uses_the_stats_percentile(self):
+        """serve/metrics must not regrow a private percentile (ISSUE 10).
+
+        The serving layer's SLO numbers are defined to be the
+        ``observe.stats`` nearest-rank percentile — the import must be the
+        very same function object, not a copy that could drift.
+        """
+        import repro.observe.stats as stats
+        import repro.serve.metrics as metrics
+
+        assert metrics.percentile is stats.percentile
+
+    def test_pinned_slo_percentiles_on_known_latencies(self):
+        """Explicit nearest-rank p50/p95/p99 pins through ServeMetrics."""
+        # 10 requests with latencies 10, 20, ..., 100 ms
+        records = [
+            _record(i, 0.0, float((i + 1) * 10)) for i in range(10)
+        ]
+        metrics = ServeMetrics(records=records)
+        assert metrics.p50_ms == 50.0  # rank ceil(5.0)  = 5  -> 50
+        assert metrics.p95_ms == 100.0  # rank ceil(9.5)  = 10 -> 100
+        assert metrics.p99_ms == 100.0  # rank ceil(9.9)  = 10 -> 100
+        # and they agree with calling the shared helper directly
+        lat = metrics.latencies_ms()
+        assert metrics.p50_ms == percentile(lat, 50.0)
+        assert metrics.p95_ms == percentile(lat, 95.0)
+        assert metrics.p99_ms == percentile(lat, 99.0)
+
     def test_known_points(self):
         values = [float(i) for i in range(1, 11)]
         assert percentile(values, 50.0) == 5.0
